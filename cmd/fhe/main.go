@@ -1,0 +1,28 @@
+// Command fhe is a file-based front end to the functional CKKS library:
+// generate keys, encrypt a vector of numbers, compute on the ciphertext
+// files, and decrypt — a miniature of the cloud workflow the paper's
+// introduction describes (the client keeps the secret key; ciphertexts
+// and compressed evaluation keys travel to the server).
+//
+//	fhe keygen  -dir keys [-logn 12] [-levels 5]
+//	fhe encrypt -dir keys -out ct.bin  1.5 2.5 3.5 …
+//	fhe add     -dir keys -out sum.bin  a.bin b.bin
+//	fhe mul     -dir keys -out prod.bin a.bin b.bin
+//	fhe rotate  -dir keys -out rot.bin -by 3 a.bin
+//	fhe decrypt -dir keys [-slots 8] ct.bin
+//	fhe info    ct.bin
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/fhecli"
+)
+
+func main() {
+	if err := fhecli.Run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fhe:", err)
+		os.Exit(1)
+	}
+}

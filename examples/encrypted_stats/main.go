@@ -1,0 +1,116 @@
+// Encrypted statistics: compute the mean and variance of a private data
+// vector entirely under encryption — the kind of "complex computations on
+// encrypted user data" the paper's introduction motivates — then estimate
+// what the same pipeline costs at production scale with the simulator's
+// schedule interpreter.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"strings"
+
+	"repro/internal/ckks"
+	"repro/internal/prng"
+	"repro/internal/simfhe"
+)
+
+func main() {
+	fmt.Println("=== mean and variance under encryption ===")
+	functional()
+	fmt.Println("\n=== the same pipeline at N = 2^17 through SimFHE ===")
+	simulated()
+}
+
+func functional() {
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     11,
+		LogQ:     []int{50, 40, 40, 40, 40},
+		LogP:     []int{50, 50},
+		LogScale: 40,
+	})
+	if err != nil {
+		panic(err)
+	}
+	src, _ := prng.NewRandomSource()
+	kg := ckks.NewKeyGenerator(params, src)
+	sk := kg.GenSecretKey()
+	rlk := kg.GenRelinearizationKey(sk, true)
+
+	const batch = 256 // data points, packed one per slot
+	gks := kg.GenRotationKeys(ckks.InnerSumRotations(batch), sk, true)
+	ev := ckks.NewEvaluator(params, &ckks.EvaluationKeySet{Rlk: rlk, Galois: gks})
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewSecretKeyEncryptor(params, sk, src)
+	dec := ckks.NewDecryptor(params, sk)
+
+	// Private data: noisy measurements around 0.7.
+	data := make([]complex128, batch)
+	var plainSum, plainSumSq float64
+	for i := range data {
+		v := 0.7 + rand.NormFloat64()*0.1
+		data[i] = complex(v, 0)
+		plainSum += v
+		plainSumSq += v * v
+	}
+	plainMean := plainSum / batch
+	plainVar := plainSumSq/batch - plainMean*plainMean
+
+	ct := encryptor.Encrypt(enc.Encode(data))
+
+	// mean = InnerSum(x)/n  (slot 0)
+	ctMean := ev.Average(ct, batch)
+	// E[x²] = InnerSum(x²)/n (slot 0)
+	ctSq := ev.Rescale(ev.Square(ct))
+	ctMeanSq := ev.Average(ctSq, batch)
+	// Var = E[x²] − mean²: square the mean (one more level), align the
+	// scales exactly, and subtract.
+	ctMean2 := ev.Rescale(ev.Square(ev.DropLevel(ctMean, ctMeanSq.Level)))
+	aligned := ev.MatchScaleLevel(ctMeanSq, ctMean2.Level, ctMean2.Scale)
+	ctVar := ev.Sub(aligned, ctMean2)
+
+	gotMean := real(enc.Decode(dec.DecryptToPlaintext(ctMean))[0])
+	gotVar := real(enc.Decode(dec.DecryptToPlaintext(ctVar))[0])
+
+	fmt.Printf("mean:     encrypted %+.6f   plain %+.6f   (|Δ| = %.2g)\n", gotMean, plainMean, math.Abs(gotMean-plainMean))
+	fmt.Printf("variance: encrypted %+.6f   plain %+.6f   (|Δ| = %.2g)\n", gotVar, plainVar, math.Abs(gotVar-plainVar))
+
+	stats := ckks.Precision([]complex128{complex(plainMean, 0), complex(plainVar, 0)},
+		[]complex128{complex(gotMean, 0), complex(gotVar, 0)})
+	fmt.Printf("precision: %v\n", stats)
+	if stats.MaxErr > 1e-3 {
+		panic("encrypted_stats: error larger than expected")
+	}
+}
+
+func simulated() {
+	// The same pipeline as a schedule: 2 squarings, 2 rotate-and-sum
+	// ladders over 2^16 slots (16 rotations each), scalar ops.
+	dsl := `
+name: encrypted-statistics
+mult x2          # x^2 and mean^2
+rotate x32       # two full rotate-and-sum ladders at n = 2^16
+ptmult x2        # the two 1/n scalings
+add x3
+`
+	sched, err := simfhe.ParseSchedule(strings.NewReader(dsl))
+	if err != nil {
+		panic(err)
+	}
+	for _, cfg := range []struct {
+		name string
+		opts simfhe.OptSet
+	}{
+		{"no MAD", simfhe.NoOpts()},
+		{"all MAD", simfhe.AllOpts()},
+	} {
+		ctx := simfhe.NewCtx(simfhe.Optimal(), simfhe.MB(32), cfg.opts)
+		res, err := ctx.RunSchedule(sched)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s %8.2f Gops %8.2f GB DRAM  (AI %.2f, final level %d)\n",
+			cfg.name, res.Total.GOps(), res.Total.GB(), res.Total.AI(), res.FinalLimbs)
+	}
+}

@@ -1,0 +1,49 @@
+// Parameter search (Table 5): sweep the secure CKKS parameter space for a
+// given on-chip memory budget and print the throughput frontier, the way
+// §4.1 describes SimFHE being used for design-space exploration.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/simfhe"
+	"repro/internal/simfhe/design"
+	"repro/internal/simfhe/search"
+)
+
+func main() {
+	mb := flag.Int("mb", 32, "on-chip memory budget (MB)")
+	bw := flag.Float64("bw", 1000, "memory bandwidth (GB/s)")
+	top := flag.Int("top", 10, "how many candidates to print")
+	flag.Parse()
+
+	d := design.Design{
+		Name:          fmt.Sprintf("custom-%dMB", *mb),
+		Multipliers:   20480,
+		OnChipMB:      *mb,
+		BandwidthGBps: *bw,
+		FreqGHz:       1,
+	}
+	fmt.Printf("searching: %d MB on-chip, %.0f GB/s, all MAD optimizations\n\n", *mb, *bw)
+
+	cands := search.Run(search.Space{}, d, simfhe.AllOpts())
+	fmt.Printf("%d secure candidates; top %d by bootstrapping throughput (Eq. 3):\n", len(cands), *top)
+	fmt.Printf("%4s %3s %5s %8s %6s %10s %10s\n", "q", "L", "dnum", "fftIter", "logQ1", "runtime", "throughput")
+	for i, c := range cands {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%4d %3d %5d %8d %6d %8.1fms %10.0f\n",
+			c.Params.LogQ, c.Params.L, c.Params.Dnum, c.Params.FFTIter,
+			c.LogQ1, c.RuntimeMs, c.Throughput)
+	}
+
+	// The paper's two Table 5 rows on the same system, for reference.
+	fmt.Println("\nreference points:")
+	for _, p := range []simfhe.Params{simfhe.Baseline(), simfhe.Optimal()} {
+		r := design.RunBootstrap(d, p, simfhe.AllOpts())
+		fmt.Printf("   %v  -> runtime %.1f ms, throughput %.0f, logQ1 %d\n",
+			p, r.RuntimeMs, r.Throughput, r.LogQ1)
+	}
+}

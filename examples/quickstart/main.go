@@ -1,0 +1,73 @@
+// Quickstart: encrypt two vectors, compute (x·y + rotate(x, 3)) under
+// encryption with the functional RNS-CKKS library, decrypt, and compare
+// against the cleartext computation.
+package main
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/ckks"
+	"repro/internal/prng"
+)
+
+func main() {
+	// A small (insecure, demo-only) parameter set: N = 2^12, five
+	// 40-bit limbs above a 45-bit base, scale Δ = 2^40.
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     12,
+		LogQ:     []int{45, 40, 40, 40, 40},
+		LogP:     []int{45, 45},
+		LogScale: 40,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	src, _ := prng.NewRandomSource()
+	kg := ckks.NewKeyGenerator(params, src)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	rlk := kg.GenRelinearizationKey(sk, true) // compressed switching keys
+	rot := kg.GenRotationKeys([]int{3}, sk, true)
+
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewEncryptor(params, pk, src)
+	dec := ckks.NewDecryptor(params, sk)
+	eval := ckks.NewEvaluator(params, &ckks.EvaluationKeySet{Rlk: rlk, Galois: rot})
+
+	n := params.Slots()
+	x := make([]complex128, n)
+	y := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(float64(i%7)/7, 0.25)
+		y[i] = complex(0.5, float64(i%5)/10)
+	}
+
+	ctX := encryptor.Encrypt(enc.Encode(x))
+	ctY := encryptor.Encrypt(enc.Encode(y))
+
+	// x·y + rotate(x, 3), all under encryption.
+	prod := eval.Mul(ctX, ctY)
+	rotated := eval.Rotate(ctX, 3)
+	// Align the rotation to the product's level and exact scale.
+	rotated = eval.MatchScaleLevel(rotated, prod.Level, prod.Scale)
+	result := eval.Add(prod, rotated)
+
+	got := enc.Decode(dec.DecryptToPlaintext(result))
+
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		want := x[i]*y[i] + x[(i+3)%n]
+		if d := cmplx.Abs(got[i] - want); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("slots: %d, ciphertext level after computation: %d\n", n, result.Level)
+	fmt.Printf("first slots: got %.4f, want %.4f\n", got[0], x[0]*y[0]+x[3])
+	fmt.Printf("max slot error: %.3g\n", worst)
+	if worst > 1e-3 {
+		panic("quickstart: error larger than expected")
+	}
+	fmt.Println("ok")
+}

@@ -1,0 +1,47 @@
+// ResNet-20 inference through the simulator (Figure 6 f–h): per-design
+// comparison of the original configuration against the MAD-augmented one
+// at several on-chip memory sizes, with a per-phase cost breakdown for
+// one configuration.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simfhe"
+	"repro/internal/simfhe/apps"
+	"repro/internal/simfhe/design"
+)
+
+func main() {
+	w := apps.ResNet20()
+	fmt.Printf("workload: %s — %d layers, %d rotations + %d plaintext mults + %d Mults per layer\n\n",
+		w.Name, w.Units, w.Rotates, w.PtMults, w.Mults)
+
+	data := apps.Figure6ResNet()
+	names := make([]string, 0, len(data))
+	for name := range data {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%s:\n", name)
+		for _, pt := range data[name] {
+			tag := ""
+			if pt.Published {
+				tag = "  (published)"
+			}
+			fmt.Printf("   %-34s %9.3f s%s\n", pt.Label, pt.RuntimeS, tag)
+		}
+	}
+
+	// Breakdown: where does the time go for BTS+MAD at 32 MB?
+	fmt.Println("\nBTS+MAD@32MB detail:")
+	r := apps.Run(w, design.BTS.WithMemory(32), simfhe.Optimal(), simfhe.AllOpts())
+	fmt.Printf("   bootstraps: %d\n", r.Bootstraps)
+	fmt.Printf("   total compute: %.1f Gops, total DRAM: %.1f GB (AI %.2f)\n",
+		r.Cost.GOps(), r.Cost.GB(), r.Cost.AI())
+	d := design.BTS.WithMemory(32)
+	fmt.Printf("   compute-bound: %v (compute %.3fs vs memory %.3fs)\n",
+		d.ComputeBound(r.Cost), d.ComputeSeconds(r.Cost), d.MemorySeconds(r.Cost))
+}

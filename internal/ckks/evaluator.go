@@ -1,0 +1,458 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mathutil"
+	"repro/internal/ring"
+	"repro/internal/rns"
+)
+
+func log2(x float64) float64 { return math.Log2(x) }
+
+// Evaluator performs homomorphic operations on ciphertexts. It implements
+// every primitive of the paper's Table 2 plus the hoisted variants used by
+// the MAD algorithmic optimizations.
+type Evaluator struct {
+	params *Parameters
+	keys   *EvaluationKeySet
+	iMono  map[int]*ring.Poly // cached NTT(X^{N/2}) per level (see MulByI)
+}
+
+// NewEvaluator returns an evaluator with the given keys. The key set (or
+// individual keys in it) may be nil if the corresponding operations are
+// never used.
+func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
+	if keys == nil {
+		keys = &EvaluationKeySet{}
+	}
+	return &Evaluator{params: params, keys: keys}
+}
+
+// Params returns the evaluator's parameter set.
+func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+func minLevel(ct0, ct1 *Ciphertext) int {
+	if ct0.Level < ct1.Level {
+		return ct0.Level
+	}
+	return ct1.Level
+}
+
+func sameScale(a, b float64) bool {
+	return math.Abs(a-b)/a < 1e-9
+}
+
+// Add returns ct0 + ct1 (Table 2 Add). Operands must share a scale.
+func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) *Ciphertext {
+	if !sameScale(ct0.Scale, ct1.Scale) {
+		panic(fmt.Sprintf("ckks: Add scale mismatch 2^%.2f vs 2^%.2f", log2(ct0.Scale), log2(ct1.Scale)))
+	}
+	level := minLevel(ct0, ct1)
+	rQ := ev.params.RingQ().AtLevel(level)
+	out := &Ciphertext{C0: rQ.NewPoly(), C1: rQ.NewPoly(), Scale: ct0.Scale, Level: level}
+	rQ.Add(ct0.C0, ct1.C0, out.C0)
+	rQ.Add(ct0.C1, ct1.C1, out.C1)
+	return out
+}
+
+// Sub returns ct0 - ct1.
+func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) *Ciphertext {
+	if !sameScale(ct0.Scale, ct1.Scale) {
+		panic("ckks: Sub scale mismatch")
+	}
+	level := minLevel(ct0, ct1)
+	rQ := ev.params.RingQ().AtLevel(level)
+	out := &Ciphertext{C0: rQ.NewPoly(), C1: rQ.NewPoly(), Scale: ct0.Scale, Level: level}
+	rQ.Sub(ct0.C0, ct1.C0, out.C0)
+	rQ.Sub(ct0.C1, ct1.C1, out.C1)
+	return out
+}
+
+// Neg returns -ct.
+func (ev *Evaluator) Neg(ct *Ciphertext) *Ciphertext {
+	rQ := ev.params.RingQ().AtLevel(ct.Level)
+	out := &Ciphertext{C0: rQ.NewPoly(), C1: rQ.NewPoly(), Scale: ct.Scale, Level: ct.Level}
+	rQ.Neg(ct.C0, out.C0)
+	rQ.Neg(ct.C1, out.C1)
+	return out
+}
+
+// AddPlain returns ct + pt (Table 2 PtAdd). The plaintext must share the
+// ciphertext's scale and be at a level ≥ the ciphertext's.
+func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if !sameScale(ct.Scale, pt.Scale) {
+		panic("ckks: AddPlain scale mismatch")
+	}
+	rQ := ev.params.RingQ().AtLevel(ct.Level)
+	out := ct.CopyNew()
+	rQ.Add(ct.C0, pt.Value, out.C0)
+	return out
+}
+
+// SubPlain returns ct - pt.
+func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	if !sameScale(ct.Scale, pt.Scale) {
+		panic("ckks: SubPlain scale mismatch")
+	}
+	rQ := ev.params.RingQ().AtLevel(ct.Level)
+	out := ct.CopyNew()
+	rQ.Sub(ct.C0, pt.Value, out.C0)
+	return out
+}
+
+// MulPlain returns ct ⊙ pt without rescaling (the caller decides when to
+// Rescale); the output scale is the product of the scales.
+func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	rQ := ev.params.RingQ().AtLevel(ct.Level)
+	out := &Ciphertext{C0: rQ.NewPoly(), C1: rQ.NewPoly(), Scale: ct.Scale * pt.Scale, Level: ct.Level}
+	rQ.MulCoeffs(ct.C0, pt.Value, out.C0)
+	rQ.MulCoeffs(ct.C1, pt.Value, out.C1)
+	return out
+}
+
+// MulPlainRescale is the full PtMult of Table 2: multiply then Rescale.
+func (ev *Evaluator) MulPlainRescale(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	return ev.Rescale(ev.MulPlain(ct, pt))
+}
+
+// MulByConstReal multiplies every slot by the real constant c, carrying it
+// at scale constScale (the output scale is ct.Scale·constScale and one
+// Rescale is usually owed afterwards). constScale = 1 with integral c
+// costs no scale at all. The rounding of c·constScale to an integer
+// introduces an absolute slot error ≤ 0.5/constScale — pick constScale
+// large enough (≈ Δ) that this vanishes below the noise floor.
+func (ev *Evaluator) MulByConstReal(ct *Ciphertext, c float64, constScale float64) *Ciphertext {
+	rQ := ev.params.RingQ().AtLevel(ct.Level)
+	scaled := math.Round(c * constScale)
+	outScale := ct.Scale * constScale
+	neg := scaled < 0
+	out := &Ciphertext{C0: rQ.NewPoly(), C1: rQ.NewPoly(), Scale: outScale, Level: ct.Level}
+	abs := math.Abs(scaled)
+	if abs >= 1<<62 {
+		// Gigantic constants (e.g. aligning to Δ² scales) exceed uint64:
+		// reduce the float per modulus instead.
+		for i, s := range rQ.SubRings {
+			ci := mathutil.ReduceFloat(abs, s.Q)
+			cs := mathutil.ShoupPrecomp(ci, s.Q)
+			for j := 0; j < rQ.N; j++ {
+				out.C0.Coeffs[i][j] = mathutil.MulModShoup(ct.C0.Coeffs[i][j], ci, cs, s.Q)
+				out.C1.Coeffs[i][j] = mathutil.MulModShoup(ct.C1.Coeffs[i][j], ci, cs, s.Q)
+			}
+		}
+		out.C0.IsNTT, out.C1.IsNTT = ct.C0.IsNTT, ct.C1.IsNTT
+	} else {
+		rQ.MulScalar(ct.C0, uint64(abs), out.C0)
+		rQ.MulScalar(ct.C1, uint64(abs), out.C1)
+	}
+	if neg {
+		rQ.Neg(out.C0, out.C0)
+		rQ.Neg(out.C1, out.C1)
+	}
+	return out
+}
+
+// AddConstReal adds the real constant c to every slot, encoding it at the
+// ciphertext's own scale (no level or scale change).
+func (ev *Evaluator) AddConstReal(ct *Ciphertext, c float64) *Ciphertext {
+	rQ := ev.params.RingQ().AtLevel(ct.Level)
+	out := ct.CopyNew()
+	v := math.Round(c * ct.Scale)
+	for i, s := range rQ.SubRings {
+		ci := mathutil.ReduceFloat(v, s.Q)
+		oi := out.C0.Coeffs[i]
+		// In NTT form a constant polynomial is the same constant in every
+		// slot, so the broadcast add is exact.
+		for j := 0; j < rQ.N; j++ {
+			oi[j] = mathutil.AddMod(oi[j], ci, s.Q)
+		}
+	}
+	return out
+}
+
+// Rescale divides the ciphertext by its top limb modulus (Table 2's
+// Rescale column), dropping one level and shrinking the scale by q_ℓ.
+func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
+	level := ct.Level
+	if level == 0 {
+		panic("ckks: cannot rescale a level-0 ciphertext")
+	}
+	conv := ev.params.Converter()
+	rQ := ev.params.RingQ().AtLevel(level - 1)
+	out := &Ciphertext{
+		C0:    rQ.NewPoly(),
+		C1:    rQ.NewPoly(),
+		Scale: ct.Scale / float64(ev.params.Q()[level]),
+		Level: level - 1,
+	}
+	// Rescale truncates the output slice itself; hand it full-size polys.
+	out.C0.Coeffs = out.C0.Coeffs[:level]
+	out.C1.Coeffs = out.C1.Coeffs[:level]
+	conv.Rescale(level, ct.C0, out.C0)
+	conv.Rescale(level, ct.C1, out.C1)
+	return out
+}
+
+// DropLevel returns the ciphertext truncated to the given lower level
+// without any scaling (the RNS representation just loses limbs).
+func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) *Ciphertext {
+	if level > ct.Level {
+		panic("ckks: DropLevel target above current level")
+	}
+	out := ct.CopyNew()
+	out.C0.Coeffs = out.C0.Coeffs[:level+1]
+	out.C1.Coeffs = out.C1.Coeffs[:level+1]
+	out.Level = level
+	return out
+}
+
+// digit returns digit j of the switching key, expanding (and caching) the
+// pseudorandom half when the key is compressed.
+func (ev *Evaluator) digit(swk *SwitchingKey, j int) KSKDigit {
+	d := swk.Digits[j]
+	if d.A.Q == nil {
+		if !swk.Compressed() {
+			panic("ckks: switching key digit has no A half and no seed")
+		}
+		d.A = expandKSKRandom(ev.params, swk.Seeds[j])
+		swk.Digits[j].A = d.A // memoize
+	}
+	return d
+}
+
+// decomposeModUp performs the Decomp + ModUp front half of KeySwitch
+// (Algorithm 3 lines 1–2): it splits x into β digits and raises each to
+// the Q∪P basis. The result can be reused across many automorphisms —
+// this is exactly the standard "ModUp hoisting" for rotations.
+func (ev *Evaluator) decomposeModUp(level int, x *ring.Poly) []rns.PolyQP {
+	p := ev.params
+	conv := p.Converter()
+	alpha := p.Alpha()
+	beta := p.Beta(level)
+	digits := make([]rns.PolyQP, beta)
+	for j := 0; j < beta; j++ {
+		start := j * alpha
+		end := min(start+alpha, level+1)
+		digits[j] = conv.NewPolyQP(level)
+		conv.ModUpDigit(level, start, end, x, digits[j])
+	}
+	return digits
+}
+
+// kskInnerProduct accumulates Σ_j ksk_j ⊙ digits_j into the raised
+// accumulator pair (u, v) — Algorithm 3 line 3.
+func (ev *Evaluator) kskInnerProduct(level int, digits []rns.PolyQP, swk *SwitchingKey, u, v rns.PolyQP) {
+	p := ev.params
+	rQ := p.RingQ().AtLevel(level)
+	rP := p.RingP()
+	for j := range digits {
+		d := ev.digit(swk, j)
+		rQ.MulCoeffsThenAdd(d.B.Q, digits[j].Q, u.Q)
+		rP.MulCoeffsThenAdd(d.B.P, digits[j].P, u.P)
+		rQ.MulCoeffsThenAdd(d.A.Q, digits[j].Q, v.Q)
+		rP.MulCoeffsThenAdd(d.A.P, digits[j].P, v.P)
+	}
+}
+
+// keySwitchRaised runs Algorithm 3 up to (but not including) the final
+// ModDown: it returns the raised pair (u, v) = ⟦P·x·w⟧ over R²_{PQ},
+// the "very important intermediate value" the MAD algorithmic
+// optimizations operate on directly.
+func (ev *Evaluator) keySwitchRaised(level int, x *ring.Poly, swk *SwitchingKey) (u, v rns.PolyQP) {
+	if err := ev.params.checkKeyLevels(swk); err != nil {
+		panic(err)
+	}
+	conv := ev.params.Converter()
+	u = conv.NewPolyQP(level)
+	v = conv.NewPolyQP(level)
+	u.Q.IsNTT, u.P.IsNTT = true, true
+	v.Q.IsNTT, v.P.IsNTT = true, true
+	digits := ev.decomposeModUp(level, x)
+	ev.kskInnerProduct(level, digits, swk, u, v)
+	return u, v
+}
+
+// keySwitchDown applies the two ModDowns of Algorithm 3 line 4.
+func (ev *Evaluator) keySwitchDown(level int, u, v rns.PolyQP) (p0, p1 *ring.Poly) {
+	conv := ev.params.Converter()
+	rQ := ev.params.RingQ().AtLevel(level)
+	p0, p1 = rQ.NewPoly(), rQ.NewPoly()
+	conv.ModDown(level, u, p0)
+	conv.ModDown(level, v, p1)
+	return p0, p1
+}
+
+// KeySwitch computes ⟦x·w⟧ under the target key (full Algorithm 3).
+func (ev *Evaluator) KeySwitch(level int, x *ring.Poly, swk *SwitchingKey) (p0, p1 *ring.Poly) {
+	u, v := ev.keySwitchRaised(level, x, swk)
+	return ev.keySwitchDown(level, u, v)
+}
+
+// MulRelin returns ct0·ct1, relinearized with the evaluator's
+// relinearization key, without the trailing Rescale (Table 2's Mult is
+// MulRelin followed by Rescale; keeping them separate lets callers batch
+// additions at the doubled scale first).
+func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
+	if ev.keys.Rlk == nil {
+		panic("ckks: evaluator has no relinearization key")
+	}
+	level := minLevel(ct0, ct1)
+	rQ := ev.params.RingQ().AtLevel(level)
+
+	d0, d1, d2 := rQ.NewPoly(), rQ.NewPoly(), rQ.NewPoly()
+	rQ.MulCoeffs(ct0.C0, ct1.C0, d0)
+	rQ.MulCoeffs(ct0.C0, ct1.C1, d1)
+	rQ.MulCoeffsThenAdd(ct0.C1, ct1.C0, d1)
+	rQ.MulCoeffs(ct0.C1, ct1.C1, d2)
+
+	p0, p1 := ev.KeySwitch(level, d2, &ev.keys.Rlk.SwitchingKey)
+	out := &Ciphertext{C0: rQ.NewPoly(), C1: rQ.NewPoly(), Scale: ct0.Scale * ct1.Scale, Level: level}
+	rQ.Add(d0, p0, out.C0)
+	rQ.Add(d1, p1, out.C1)
+	return out
+}
+
+// Mul is the full Table 2 Mult: tensor, relinearize, rescale.
+func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) *Ciphertext {
+	return ev.Rescale(ev.MulRelin(ct0, ct1))
+}
+
+// galoisKey fetches the Galois key for element g.
+func (ev *Evaluator) galoisKey(g uint64) *GaloisKey {
+	gk, ok := ev.keys.Galois[g]
+	if !ok {
+		panic(fmt.Sprintf("ckks: no Galois key for element %d", g))
+	}
+	return gk
+}
+
+// Rotate returns the ciphertext with slots rotated by k positions
+// (Table 2 Rotate): Automorph on both halves, then KeySwitch on the c1
+// half to return to the original key.
+func (ev *Evaluator) Rotate(ct *Ciphertext, k int) *Ciphertext {
+	g := ev.params.RingQ().GaloisElement(k)
+	if g == 1 {
+		return ct.CopyNew()
+	}
+	return ev.automorphism(ct, g)
+}
+
+// Conjugate returns the slot-wise complex conjugate (Table 2 Conjugate).
+func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
+	return ev.automorphism(ct, ev.params.RingQ().GaloisElementConjugate())
+}
+
+func (ev *Evaluator) automorphism(ct *Ciphertext, g uint64) *Ciphertext {
+	level := ct.Level
+	rQ := ev.params.RingQ().AtLevel(level)
+	gk := ev.galoisKey(g)
+
+	c0r, c1r := rQ.NewPoly(), rQ.NewPoly()
+	rQ.AutomorphismNTT(ct.C0, g, c0r)
+	rQ.AutomorphismNTT(ct.C1, g, c1r)
+
+	p0, p1 := ev.KeySwitch(level, c1r, &gk.SwitchingKey)
+	out := &Ciphertext{C0: rQ.NewPoly(), C1: p1, Scale: ct.Scale, Level: level}
+	rQ.Add(c0r, p0, out.C0)
+	return out
+}
+
+// automorphismPolyQP applies X → X^g to both parts of a raised polynomial.
+func (ev *Evaluator) automorphismPolyQP(level int, a rns.PolyQP, g uint64) rns.PolyQP {
+	p := ev.params
+	rQ := p.RingQ().AtLevel(level)
+	rP := p.RingP()
+	out := p.Converter().NewPolyQP(level)
+	rQ.AutomorphismNTT(a.Q, g, out.Q)
+	rP.AutomorphismNTT(a.P, g, out.P)
+	return out
+}
+
+// RotateHoisted rotates one ciphertext by many steps, sharing a single
+// Decomp + ModUp across all of them (the standard ModUp hoisting of
+// Halevi–Shoup/GAZELLE referenced in §3.2). The map includes step 0 as a
+// copy when requested.
+func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphertext {
+	level := ct.Level
+	rQ := ev.params.RingQ().AtLevel(level)
+	conv := ev.params.Converter()
+	digits := ev.decomposeModUp(level, ct.C1)
+
+	out := make(map[int]*Ciphertext, len(steps))
+	for _, k := range steps {
+		g := ev.params.RingQ().GaloisElement(k)
+		if g == 1 {
+			out[k] = ct.CopyNew()
+			continue
+		}
+		gk := ev.galoisKey(g)
+		u := conv.NewPolyQP(level)
+		v := conv.NewPolyQP(level)
+		u.Q.IsNTT, u.P.IsNTT = true, true
+		v.Q.IsNTT, v.P.IsNTT = true, true
+		rot := make([]rns.PolyQP, len(digits))
+		for j := range digits {
+			rot[j] = ev.automorphismPolyQP(level, digits[j], g)
+		}
+		ev.kskInnerProduct(level, rot, &gk.SwitchingKey, u, v)
+		p0, p1 := ev.keySwitchDown(level, u, v)
+
+		c0r := rQ.NewPoly()
+		rQ.AutomorphismNTT(ct.C0, g, c0r)
+		res := &Ciphertext{C0: rQ.NewPoly(), C1: p1, Scale: ct.Scale, Level: level}
+		rQ.Add(c0r, p0, res.C0)
+		out[k] = res
+	}
+	return out
+}
+
+// Square returns ct² relinearized (no rescale): the tensor step exploits
+// symmetry (d1 = 2·a0·a1), saving one of Mult's four pointwise products.
+func (ev *Evaluator) Square(ct *Ciphertext) *Ciphertext {
+	if ev.keys.Rlk == nil {
+		panic("ckks: evaluator has no relinearization key")
+	}
+	level := ct.Level
+	rQ := ev.params.RingQ().AtLevel(level)
+
+	d0, d1, d2 := rQ.NewPoly(), rQ.NewPoly(), rQ.NewPoly()
+	rQ.MulCoeffs(ct.C0, ct.C0, d0)
+	rQ.MulCoeffs(ct.C0, ct.C1, d1)
+	rQ.Add(d1, d1, d1)
+	rQ.MulCoeffs(ct.C1, ct.C1, d2)
+
+	p0, p1 := ev.KeySwitch(level, d2, &ev.keys.Rlk.SwitchingKey)
+	out := &Ciphertext{C0: rQ.NewPoly(), C1: rQ.NewPoly(), Scale: ct.Scale * ct.Scale, Level: level}
+	rQ.Add(d0, p0, out.C0)
+	rQ.Add(d1, p1, out.C1)
+	return out
+}
+
+// MatchScaleLevel brings ct to exactly (level, ≈targetScale) so it can be
+// added to or subtracted from another ciphertext: the ratio is folded
+// into an exact large-constant multiplication at level+1 followed by one
+// Rescale. Requires ct.Level > level.
+func (ev *Evaluator) MatchScaleLevel(ct *Ciphertext, level int, targetScale float64) *Ciphertext {
+	if ct.Level <= level {
+		panic("ckks: MatchScaleLevel needs one spare level")
+	}
+	adj := ev.DropLevel(ct, level+1)
+	ratio := targetScale * float64(ev.params.Q()[level+1]) / adj.Scale
+	if ratio < 1 {
+		panic(fmt.Sprintf("ckks: MatchScaleLevel ratio %.3g < 1; target scale too small", ratio))
+	}
+	return ev.Rescale(ev.MulByConstReal(adj, 1, ratio))
+}
+
+// SwitchKeys re-encrypts ct to the key the switching key targets: the
+// generic decryption-key change of §2.2. The ciphertext's message is
+// unchanged.
+func (ev *Evaluator) SwitchKeys(ct *Ciphertext, swk *SwitchingKey) *Ciphertext {
+	level := ct.Level
+	rQ := ev.params.RingQ().AtLevel(level)
+	p0, p1 := ev.KeySwitch(level, ct.C1, swk)
+	out := &Ciphertext{C0: rQ.NewPoly(), C1: p1, Scale: ct.Scale, Level: level}
+	rQ.Add(ct.C0, p0, out.C0)
+	return out
+}

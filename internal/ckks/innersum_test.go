@@ -1,0 +1,98 @@
+package ckks
+
+import (
+	"math/cmplx"
+	"testing"
+)
+
+func TestInnerSum(t *testing.T) {
+	tc := newTestContext(t)
+	const width = 16
+	gks := tc.kg.GenRotationKeys(InnerSumRotations(width), tc.sk, false)
+	ev := NewEvaluator(tc.params, &EvaluationKeySet{Galois: gks})
+
+	n := tc.params.Slots()
+	a := randomValues(n, 1)
+	ct := tc.encSk.Encrypt(tc.enc.Encode(a))
+	out := ev.InnerSum(ct, width)
+	got := tc.enc.Decode(tc.dec.DecryptToPlaintext(out))
+
+	// Every slot j holds Σ_{i<width} a[(j+i) mod n]; check a few
+	// block-start positions (the usual consumption pattern).
+	for _, j := range []int{0, width, 5 * width, n - width} {
+		want := complex(0, 0)
+		for i := 0; i < width; i++ {
+			want += a[(j+i)%n]
+		}
+		if d := cmplx.Abs(got[j] - want); d > 1e-4 {
+			t.Errorf("slot %d: |got-want| = %.3g", j, d)
+		}
+	}
+}
+
+func TestInnerSumValidation(t *testing.T) {
+	tc := newTestContext(t)
+	ev := NewEvaluator(tc.params, nil)
+	ct := tc.encSk.Encrypt(tc.enc.Encode(randomValues(8, 1)))
+	for _, n := range []int{0, 3, tc.params.Slots() * 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("InnerSum(%d) should panic", n)
+				}
+			}()
+			ev.InnerSum(ct, n)
+		}()
+	}
+	// Width 1 is the identity.
+	out := ev.InnerSum(ct, 1)
+	if !out.C0.Equal(ct.C0) {
+		t.Error("InnerSum(1) changed the ciphertext")
+	}
+}
+
+func TestAverage(t *testing.T) {
+	tc := newTestContext(t)
+	const width = 8
+	gks := tc.kg.GenRotationKeys(InnerSumRotations(width), tc.sk, false)
+	ev := NewEvaluator(tc.params, &EvaluationKeySet{Galois: gks})
+
+	a := randomValues(tc.params.Slots(), 1)
+	ct := tc.encSk.Encrypt(tc.enc.Encode(a))
+	out := ev.Average(ct, width)
+	if out.Level != ct.Level-1 {
+		t.Errorf("Average should cost one level: %d -> %d", ct.Level, out.Level)
+	}
+	got := tc.enc.Decode(tc.dec.DecryptToPlaintext(out))
+	want := complex(0, 0)
+	for i := 0; i < width; i++ {
+		want += a[i]
+	}
+	want /= complex(width, 0)
+	if d := cmplx.Abs(got[0] - want); d > 1e-4 {
+		t.Errorf("Average slot 0 off by %.3g", d)
+	}
+}
+
+func TestPrecisionStats(t *testing.T) {
+	want := []complex128{1, 2, 3, 4}
+	got := []complex128{1, 2 + 0.25i, 3, 4 + 0.5i}
+	s := Precision(want, got)
+	if s.MaxErr != 0.5 || s.MinErr != 0 {
+		t.Errorf("max/min = %v/%v", s.MaxErr, s.MinErr)
+	}
+	if s.MinPrecisionBits != 1 {
+		t.Errorf("worst precision = %v bits, want 1", s.MinPrecisionBits)
+	}
+	if s.MeanErr != (0.25+0.5)/4 {
+		t.Errorf("mean err = %v", s.MeanErr)
+	}
+	// Exact match reports the sentinel 64 bits.
+	exact := Precision(want, want)
+	if exact.MinPrecisionBits != 64 {
+		t.Errorf("exact comparison reports %v bits", exact.MinPrecisionBits)
+	}
+	if (Precision(nil, nil) != PrecisionStats{}) {
+		t.Error("empty comparison should be zero")
+	}
+}

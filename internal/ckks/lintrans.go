@@ -1,0 +1,263 @@
+package ckks
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rns"
+)
+
+// LinearTransform is an encoded plaintext matrix for homomorphic
+// matrix–vector products (the paper's PtMatVecMult): the matrix is stored
+// by its nonzero generalized diagonals, each encoded as a plaintext. With
+// N1 > 1 the diagonals are pre-rotated for baby-step/giant-step
+// evaluation; diagonal d = j·N1 + i is stored rotated right by j·N1.
+type LinearTransform struct {
+	Diags map[int]*Plaintext // Q-basis plaintexts (standard/BSGS path)
+	QP    map[int]rns.PolyQP // raised plaintexts (hoisted-ModDown path)
+	N1    int                // baby-step count; ≤ 1 means the naive loop
+	Level int
+	Scale float64
+	slots int
+}
+
+// rotateVec returns v rotated left by k (k may be negative).
+func rotateVec(v []complex128, k int) []complex128 {
+	n := len(v)
+	k = ((k % n) + n) % n
+	out := make([]complex128, n)
+	for i := range v {
+		out[i] = v[(i+k)%n]
+	}
+	return out
+}
+
+// NewLinearTransform encodes the given diagonals at the given level and
+// scale. diags[d][t] must equal M[t][(t+d) mod n] for the matrix M being
+// applied. n1 selects the BSGS baby-step count (pass 0 for the naive
+// single loop, or a divisor-ish value near √(#diags) for BSGS).
+// If raised is true the diagonals are additionally encoded over Q∪P for
+// the hoisted-ModDown evaluation path.
+func NewLinearTransform(enc *Encoder, diags map[int][]complex128, level int, scale float64, n1 int, raised bool) *LinearTransform {
+	n := enc.params.Slots()
+	lt := &LinearTransform{
+		Diags: make(map[int]*Plaintext, len(diags)),
+		N1:    n1,
+		Level: level,
+		Scale: scale,
+		slots: n,
+	}
+	if raised {
+		lt.QP = make(map[int]rns.PolyQP, len(diags))
+	}
+	for d, vec := range diags {
+		if len(vec) != n {
+			panic(fmt.Sprintf("ckks: diagonal %d has %d entries, want %d", d, len(vec), n))
+		}
+		dd := ((d % n) + n) % n
+		v := vec
+		if n1 > 1 {
+			// Pre-rotate for BSGS: store rot(diag, -j·N1).
+			j := dd / n1
+			v = rotateVec(vec, -j*n1)
+		}
+		lt.Diags[dd] = enc.EncodeAtLevel(v, scale, level)
+		if raised {
+			lt.QP[dd] = enc.EncodeQP(v, scale, level)
+		}
+	}
+	return lt
+}
+
+// DiagsFromMatrix extracts the nonzero generalized diagonals of an n×n
+// matrix: diags[d][t] = M[t][(t+d) mod n].
+func DiagsFromMatrix(m [][]complex128) map[int][]complex128 {
+	n := len(m)
+	out := make(map[int][]complex128)
+	for d := 0; d < n; d++ {
+		vec := make([]complex128, n)
+		nonzero := false
+		for t := 0; t < n; t++ {
+			vec[t] = m[t][(t+d)%n]
+			if vec[t] != 0 {
+				nonzero = true
+			}
+		}
+		if nonzero {
+			out[d] = vec
+		}
+	}
+	return out
+}
+
+// RotationSteps returns the rotation indices an evaluator needs Galois
+// keys for to evaluate this transform (baby and giant steps under BSGS,
+// or the raw diagonal indices otherwise).
+func (lt *LinearTransform) RotationSteps() []int {
+	seen := map[int]bool{}
+	for d := range lt.Diags {
+		if lt.N1 > 1 {
+			seen[d%lt.N1] = true
+			seen[d/lt.N1*lt.N1] = true
+		} else {
+			seen[d] = true
+		}
+	}
+	steps := make([]int, 0, len(seen))
+	for s := range seen {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	return steps
+}
+
+// EvalLinearTransform applies the transform with the baby-step/giant-step
+// schedule: the baby rotations share one Decomp+ModUp (ModUp hoisting) and
+// each giant step performs one additional rotation. The result carries
+// scale ct.Scale·lt.Scale; the caller owes one Rescale.
+func (ev *Evaluator) EvalLinearTransform(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	if lt.N1 <= 1 {
+		return ev.evalLinearTransformNaive(ct, lt)
+	}
+	n1 := lt.N1
+	rQ := ev.params.RingQ().AtLevel(ct.Level)
+
+	// Group diagonals by giant step.
+	groups := map[int][]int{}
+	babySet := map[int]bool{}
+	for d := range lt.Diags {
+		groups[d/n1] = append(groups[d/n1], d%n1)
+		babySet[d%n1] = true
+	}
+	babySteps := make([]int, 0, len(babySet))
+	for i := range babySet {
+		babySteps = append(babySteps, i)
+	}
+	sort.Ints(babySteps)
+	rots := ev.RotateHoisted(ct, babySteps)
+
+	var acc *Ciphertext
+	giants := make([]int, 0, len(groups))
+	for j := range groups {
+		giants = append(giants, j)
+	}
+	sort.Ints(giants)
+	for _, j := range giants {
+		var inner *Ciphertext
+		for _, i := range groups[j] {
+			term := ev.MulPlain(rots[i], lt.Diags[j*n1+i])
+			if inner == nil {
+				inner = term
+			} else {
+				rQ.Add(inner.C0, term.C0, inner.C0)
+				rQ.Add(inner.C1, term.C1, inner.C1)
+			}
+		}
+		if j != 0 {
+			inner = ev.Rotate(inner, j*n1)
+		}
+		if acc == nil {
+			acc = inner
+		} else {
+			rQ.Add(acc.C0, inner.C0, acc.C0)
+			rQ.Add(acc.C1, inner.C1, acc.C1)
+		}
+	}
+	return acc
+}
+
+// evalLinearTransformNaive is the textbook loop: rotate (hoisted), multiply
+// by the diagonal, accumulate — with a ModDown inside every rotation.
+func (ev *Evaluator) evalLinearTransformNaive(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	rQ := ev.params.RingQ().AtLevel(ct.Level)
+	steps := make([]int, 0, len(lt.Diags))
+	for d := range lt.Diags {
+		steps = append(steps, d)
+	}
+	sort.Ints(steps)
+	rots := ev.RotateHoisted(ct, steps)
+	var acc *Ciphertext
+	for _, d := range steps {
+		term := ev.MulPlain(rots[d], lt.Diags[d])
+		if acc == nil {
+			acc = term
+		} else {
+			rQ.Add(acc.C0, term.C0, acc.C0)
+			rQ.Add(acc.C1, term.C1, acc.C1)
+		}
+	}
+	return acc
+}
+
+// EvalLinearTransformHoistedModDown applies the transform exactly as
+// Figure 5(c) of the paper prescribes: ONE Decomp+ModUp on the input (ModUp
+// hoisting), every rotation's key-switch product and the diagonal
+// multiplications accumulated in the raised basis R_{PQ} (the linear
+// function runs on the additively homomorphic raised ciphertexts produced
+// by PModUp), and a single pair of ModDowns at the very end — three RNS
+// basis changes total, regardless of the number of diagonals.
+//
+// The transform must have been built with raised = true.
+func (ev *Evaluator) EvalLinearTransformHoistedModDown(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
+	if lt.QP == nil {
+		panic("ckks: transform was not encoded for the raised basis (pass raised=true)")
+	}
+	p := ev.params
+	level := ct.Level
+	rQ := p.RingQ().AtLevel(level)
+	rP := p.RingP()
+	conv := p.Converter()
+
+	// One hoisted Decomp + ModUp for every rotation (Figure 5(c) left box).
+	digits := ev.decomposeModUp(level, ct.C1)
+
+	accU := conv.NewPolyQP(level)
+	accV := conv.NewPolyQP(level)
+	accU.Q.IsNTT, accU.P.IsNTT = true, true
+	accV.Q.IsNTT, accV.P.IsNTT = true, true
+
+	steps := make([]int, 0, len(lt.QP))
+	for d := range lt.QP {
+		steps = append(steps, d)
+	}
+	sort.Ints(steps)
+
+	for _, d := range steps {
+		pt := lt.QP[d]
+		var u, v rns.PolyQP
+		if d == 0 {
+			// Unrotated term: lift both halves with the free PModUp.
+			u = conv.NewPolyQP(level)
+			v = conv.NewPolyQP(level)
+			conv.PModUp(level, ct.C0, u)
+			conv.PModUp(level, ct.C1, v)
+		} else {
+			g := rQ.GaloisElement(d)
+			gk := ev.galoisKey(g)
+			u = conv.NewPolyQP(level)
+			v = conv.NewPolyQP(level)
+			u.Q.IsNTT, u.P.IsNTT = true, true
+			v.Q.IsNTT, v.P.IsNTT = true, true
+			rot := make([]rns.PolyQP, len(digits))
+			for j := range digits {
+				rot[j] = ev.automorphismPolyQP(level, digits[j], g)
+			}
+			ev.kskInnerProduct(level, rot, &gk.SwitchingKey, u, v)
+			// Add P·σ(c0) to the u half so (u, v) is the raised rotation.
+			c0r := rQ.NewPoly()
+			rQ.AutomorphismNTT(ct.C0, g, c0r)
+			lifted := conv.NewPolyQP(level)
+			conv.PModUp(level, c0r, lifted)
+			rQ.Add(u.Q, lifted.Q, u.Q)
+		}
+		// Diagonal multiply and accumulate — still in the raised basis.
+		rQ.MulCoeffsThenAdd(pt.Q, u.Q, accU.Q)
+		rP.MulCoeffsThenAdd(pt.P, u.P, accU.P)
+		rQ.MulCoeffsThenAdd(pt.Q, v.Q, accV.Q)
+		rP.MulCoeffsThenAdd(pt.P, v.P, accV.P)
+	}
+
+	// The two hoisted ModDowns (Figure 5(c) right box).
+	p0, p1 := ev.keySwitchDown(level, accU, accV)
+	return &Ciphertext{C0: p0, C1: p1, Scale: ct.Scale * lt.Scale, Level: level}
+}

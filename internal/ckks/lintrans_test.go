@@ -1,0 +1,177 @@
+package ckks
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// applyMatrix computes M·x in the clear for reference.
+func applyMatrix(m [][]complex128, x []complex128) []complex128 {
+	n := len(m)
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out[i] += m[i][j] * x[j]
+		}
+	}
+	return out
+}
+
+// randomBandedMatrix returns an n×n matrix with the given nonzero
+// generalized diagonals.
+func randomBandedMatrix(n int, diagIdx []int) [][]complex128 {
+	m := make([][]complex128, n)
+	for i := range m {
+		m[i] = make([]complex128, n)
+	}
+	for _, d := range diagIdx {
+		for t := 0; t < n; t++ {
+			m[t][(t+d)%n] = complex(rand.Float64()*2-1, rand.Float64()*2-1)
+		}
+	}
+	return m
+}
+
+func setupLinTransTest(t *testing.T, diagIdx []int, n1 int, raised bool) (*testContext, *Evaluator, *LinearTransform, [][]complex128) {
+	tc := newTestContext(t)
+	n := tc.params.Slots()
+	m := randomBandedMatrix(n, diagIdx)
+	lt := NewLinearTransform(tc.enc, DiagsFromMatrix(m), tc.params.MaxLevel(), tc.params.Scale(), n1, raised)
+	gks := tc.kg.GenRotationKeys(lt.RotationSteps(), tc.sk, false)
+	if raised {
+		// The hoisted path rotates by the raw diagonal indices.
+		for _, d := range diagIdx {
+			g := tc.params.RingQ().GaloisElement(d)
+			if _, ok := gks[g]; !ok && g != 1 {
+				gks[g] = tc.kg.GenGaloisKey(g, tc.sk, false)
+			}
+		}
+	}
+	ev := NewEvaluator(tc.params, &EvaluationKeySet{Galois: gks})
+	return tc, ev, lt, m
+}
+
+func TestLinearTransformNaive(t *testing.T) {
+	diagIdx := []int{0, 1, 5, 17}
+	tc, ev, lt, m := setupLinTransTest(t, diagIdx, 0, false)
+	n := tc.params.Slots()
+	x := randomValues(n, 1)
+	ct := tc.encSk.Encrypt(tc.enc.Encode(x))
+
+	out := ev.Rescale(ev.EvalLinearTransform(ct, lt))
+	want := applyMatrix(m, x)
+	got := tc.enc.Decode(tc.dec.DecryptToPlaintext(out))
+	if err := maxErr(want, got); err > 1e-3 {
+		t.Errorf("naive PtMatVecMult error %.3g too large", err)
+	}
+}
+
+func TestLinearTransformBSGS(t *testing.T) {
+	// Dense-ish band: diagonals 0..11 with BSGS n1 = 4.
+	diagIdx := make([]int, 12)
+	for i := range diagIdx {
+		diagIdx[i] = i
+	}
+	tc, ev, lt, m := setupLinTransTest(t, diagIdx, 4, false)
+	n := tc.params.Slots()
+	x := randomValues(n, 1)
+	ct := tc.encSk.Encrypt(tc.enc.Encode(x))
+
+	out := ev.Rescale(ev.EvalLinearTransform(ct, lt))
+	want := applyMatrix(m, x)
+	got := tc.enc.Decode(tc.dec.DecryptToPlaintext(out))
+	if err := maxErr(want, got); err > 1e-3 {
+		t.Errorf("BSGS PtMatVecMult error %.3g too large", err)
+	}
+}
+
+// TestHoistedModDownMatchesBSGS is the functional verification of the
+// paper's ModDown-hoisting claim (§3.2, Figure 5): evaluating
+// PtMatVecMult with a single ModUp and a single pair of ModDowns must
+// produce the same result as the textbook schedule.
+func TestLinearTransformHoistedModDownMatchesNaive(t *testing.T) {
+	diagIdx := []int{0, 1, 3, 9, 20}
+	tc, ev, lt, m := setupLinTransTest(t, diagIdx, 0, true)
+	n := tc.params.Slots()
+	x := randomValues(n, 1)
+	ct := tc.encSk.Encrypt(tc.enc.Encode(x))
+
+	naive := ev.Rescale(ev.EvalLinearTransform(ct, lt))
+	hoisted := ev.Rescale(ev.EvalLinearTransformHoistedModDown(ct, lt))
+
+	want := applyMatrix(m, x)
+	gotN := tc.enc.Decode(tc.dec.DecryptToPlaintext(naive))
+	gotH := tc.enc.Decode(tc.dec.DecryptToPlaintext(hoisted))
+	if err := maxErr(want, gotH); err > 1e-3 {
+		t.Errorf("hoisted-ModDown result error %.3g vs ground truth", err)
+	}
+	if err := maxErr(gotN, gotH); err > 1e-4 {
+		t.Errorf("hoisted-ModDown and naive paths differ by %.3g", err)
+	}
+}
+
+func TestLinearTransformWithoutDiagZero(t *testing.T) {
+	// No d = 0 diagonal: exercises the rotation-only accumulation path.
+	diagIdx := []int{2, 6}
+	tc, ev, lt, m := setupLinTransTest(t, diagIdx, 0, true)
+	n := tc.params.Slots()
+	x := randomValues(n, 1)
+	ct := tc.encSk.Encrypt(tc.enc.Encode(x))
+
+	out := ev.Rescale(ev.EvalLinearTransformHoistedModDown(ct, lt))
+	want := applyMatrix(m, x)
+	got := tc.enc.Decode(tc.dec.DecryptToPlaintext(out))
+	if err := maxErr(want, got); err > 1e-3 {
+		t.Errorf("error %.3g too large", err)
+	}
+}
+
+func TestDiagsFromMatrix(t *testing.T) {
+	n := 8
+	m := make([][]complex128, n)
+	for i := range m {
+		m[i] = make([]complex128, n)
+	}
+	// Only diagonal 3 nonzero.
+	for t2 := 0; t2 < n; t2++ {
+		m[t2][(t2+3)%n] = complex(float64(t2), 0)
+	}
+	diags := DiagsFromMatrix(m)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagonals, want 1", len(diags))
+	}
+	vec, ok := diags[3]
+	if !ok {
+		t.Fatal("diagonal 3 missing")
+	}
+	for t2 := 0; t2 < n; t2++ {
+		if vec[t2] != complex(float64(t2), 0) {
+			t.Fatalf("diag[3][%d] = %v", t2, vec[t2])
+		}
+	}
+}
+
+func TestRotateVec(t *testing.T) {
+	v := []complex128{0, 1, 2, 3}
+	got := rotateVec(v, 1)
+	want := []complex128{1, 2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotateVec(+1) = %v", got)
+		}
+	}
+	got = rotateVec(v, -1)
+	want = []complex128{3, 0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rotateVec(-1) = %v", got)
+		}
+	}
+	// Identity for k ≡ 0 (mod n).
+	got = rotateVec(v, 8)
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("rotateVec(n) not identity: %v", got)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package ckks
+
+import (
+	"fmt"
+	"math"
+)
+
+// Homomorphic polynomial evaluation in the power basis with the
+// Paterson–Stockmeyer baby-step/giant-step schedule: log-depth, ~2√d
+// ciphertext multiplications. This is the evaluator HELR's sigmoid and
+// similar activation polynomials run on. (Bootstrapping's EvalMod uses
+// the Chebyshev-basis variant in internal/bootstrap, which is better
+// conditioned for the high-degree sine; for the low-degree application
+// polynomials the power basis is simpler and exact.)
+
+// polyEvalCtx carries the powers of the input ciphertext.
+type polyEvalCtx struct {
+	ev *Evaluator
+	x  map[int]*Ciphertext // x^k
+	m  int                 // baby-step bound (power of two)
+}
+
+// EvalPolynomial evaluates Σ c_k·xᵏ over the slots of ct. The slot values
+// should be O(1) in magnitude (the usual CKKS regime) so intermediate
+// powers stay encodable. Levels consumed: ≈ 2·log2(degree).
+func (ev *Evaluator) EvalPolynomial(ct *Ciphertext, coeffs []float64) *Ciphertext {
+	d := len(coeffs) - 1
+	for d > 0 && math.Abs(coeffs[d]) < 1e-14 {
+		d--
+	}
+	coeffs = coeffs[:d+1]
+	if d == 0 {
+		out := ev.MulByConstReal(ct, 0, 1)
+		return ev.AddConstReal(out, coeffs[0])
+	}
+	m := 1
+	for m*m < d+1 {
+		m <<= 1
+	}
+	pe := &polyEvalCtx{ev: ev, x: map[int]*Ciphertext{1: ct}, m: m}
+	pe.genPowers(d)
+
+	minLvl := ct.Level
+	for _, xk := range pe.x {
+		if xk.Level < minLvl {
+			minLvl = xk.Level
+		}
+	}
+	rootLevel := minLvl - pe.depthOf(d)
+	if rootLevel < 0 {
+		panic(fmt.Sprintf("ckks: polynomial degree %d needs %d more levels", d, -rootLevel))
+	}
+	return pe.evalRecurse(coeffs, rootLevel, ct.Scale)
+}
+
+// genPowers computes the baby powers x²…x^{m} and the giants x^{2m},
+// x^{4m}, … via x^{a+b} = x^a·x^b.
+func (pe *polyEvalCtx) genPowers(degree int) {
+	ev := pe.ev
+	mul := func(a, b *Ciphertext) *Ciphertext {
+		lvl := a.Level
+		if b.Level < lvl {
+			lvl = b.Level
+		}
+		return ev.Rescale(ev.MulRelin(ev.DropLevel(a, lvl), ev.DropLevel(b, lvl)))
+	}
+	for k := 2; k <= pe.m; k++ {
+		pe.x[k] = mul(pe.x[(k+1)/2], pe.x[k/2])
+	}
+	for g := pe.m; 2*g <= degree; g *= 2 {
+		pe.x[2*g] = mul(pe.x[g], pe.x[g])
+	}
+}
+
+func (pe *polyEvalCtx) largestGiant(degree int) int {
+	g := pe.m
+	for 2*g <= degree {
+		g *= 2
+	}
+	return g
+}
+
+func (pe *polyEvalCtx) depthOf(degree int) int {
+	if degree < pe.m {
+		return 1
+	}
+	g := pe.largestGiant(degree)
+	return max(1+pe.depthOf(degree-g), pe.depthOf(g-1))
+}
+
+// evalRecurse mirrors the Chebyshev recursion with the simpler monomial
+// split p = x^g·q + r: the quotient takes coefficients c_g…c_d verbatim
+// and the remainder is c_0…c_{g−1} untouched.
+func (pe *polyEvalCtx) evalRecurse(coeffs []float64, level int, scale float64) *Ciphertext {
+	ev := pe.ev
+	d := len(coeffs) - 1
+	if d < pe.m {
+		return pe.evalLeaf(coeffs, level, scale)
+	}
+	g := pe.largestGiant(d)
+	q := coeffs[g:]
+	r := coeffs[:g]
+
+	xg := ev.DropLevel(pe.x[g], level+1)
+	qScale := scale * float64(ev.Params().Q()[level+1]) / xg.Scale
+	qHat := pe.evalRecurse(q, level+1, qScale)
+	prod := ev.Rescale(ev.MulRelin(qHat, xg))
+	rHat := pe.evalRecurse(r, level, prod.Scale)
+	return ev.Add(prod, rHat)
+}
+
+func (pe *polyEvalCtx) evalLeaf(coeffs []float64, level int, scale float64) *Ciphertext {
+	ev := pe.ev
+	target := scale * float64(ev.Params().Q()[level+1])
+	var acc *Ciphertext
+	for k := 1; k < len(coeffs); k++ {
+		if math.Abs(coeffs[k]) < 1e-14 {
+			continue
+		}
+		xk := ev.DropLevel(pe.x[k], level+1)
+		term := ev.MulByConstReal(xk, coeffs[k], target/xk.Scale)
+		if acc == nil {
+			acc = term
+		} else {
+			acc = ev.Add(acc, term)
+		}
+	}
+	if acc == nil {
+		xk := ev.DropLevel(pe.x[1], level+1)
+		acc = ev.MulByConstReal(xk, 0, 1)
+		acc.Scale = target
+	}
+	acc = ev.AddConstReal(acc, coeffs[0])
+	return ev.Rescale(acc)
+}
+
+// SigmoidCoeffs returns the HELR degree-7 least-squares approximation of
+// the logistic sigmoid on [-8, 8] (Han et al. [18], Table 1 of that
+// paper): σ(x) ≈ 0.5 + 1.73496·(x/8) − 4.19407·(x/8)³ + 5.43402·(x/8)⁵
+// − 2.50739·(x/8)⁷.
+func SigmoidCoeffs() []float64 {
+	scale := func(c float64, k int) float64 { return c / math.Pow(8, float64(k)) }
+	return []float64{
+		0.5,
+		scale(1.73496, 1),
+		0,
+		scale(-4.19407, 3),
+		0,
+		scale(5.43402, 5),
+		0,
+		scale(-2.50739, 7),
+	}
+}

@@ -1,0 +1,127 @@
+package ckks
+
+import (
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests of the homomorphism: for randomized messages, the
+// decrypted results of encrypted arithmetic must track the plaintext
+// arithmetic. Values are derived deterministically from quick's seeds.
+
+// propContext is built once; property iterations reuse it.
+var propTC *testContext
+
+func propContextFor(t *testing.T) *testContext {
+	t.Helper()
+	if propTC == nil {
+		propTC = newTestContext(t)
+	}
+	return propTC
+}
+
+// valuesFromSeed expands a seed into a bounded message vector.
+func valuesFromSeed(n int, seed uint64) []complex128 {
+	out := make([]complex128, n)
+	state := seed | 1
+	next := func() float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return float64(int64(state%2000)-1000) / 1000
+	}
+	for i := range out {
+		out[i] = complex(next(), next())
+	}
+	return out
+}
+
+func TestPropertyHomomorphicAdd(t *testing.T) {
+	tc := propContextFor(t)
+	ev := NewEvaluator(tc.params, nil)
+	n := tc.params.Slots()
+	f := func(sa, sb uint64) bool {
+		a := valuesFromSeed(n, sa)
+		b := valuesFromSeed(n, sb)
+		ctA := tc.encSk.Encrypt(tc.enc.Encode(a))
+		ctB := tc.encSk.Encrypt(tc.enc.Encode(b))
+		got := tc.enc.Decode(tc.dec.DecryptToPlaintext(ev.Add(ctA, ctB)))
+		for i := range a {
+			if cmplx.Abs(got[i]-(a[i]+b[i])) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyHomomorphicMulCommutes(t *testing.T) {
+	tc := propContextFor(t)
+	rlk := tc.kg.GenRelinearizationKey(tc.sk, false)
+	ev := NewEvaluator(tc.params, &EvaluationKeySet{Rlk: rlk})
+	n := tc.params.Slots()
+	f := func(sa, sb uint64) bool {
+		a := valuesFromSeed(n, sa)
+		b := valuesFromSeed(n, sb)
+		ctA := tc.encSk.Encrypt(tc.enc.Encode(a))
+		ctB := tc.encSk.Encrypt(tc.enc.Encode(b))
+		ab := tc.enc.Decode(tc.dec.DecryptToPlaintext(ev.Mul(ctA, ctB)))
+		ba := tc.enc.Decode(tc.dec.DecryptToPlaintext(ev.Mul(ctB, ctA)))
+		for i := range a {
+			if cmplx.Abs(ab[i]-ba[i]) > 1e-5 || cmplx.Abs(ab[i]-a[i]*b[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRotationComposes(t *testing.T) {
+	tc := propContextFor(t)
+	gks := tc.kg.GenRotationKeys([]int{1, 2, 3}, tc.sk, false)
+	ev := NewEvaluator(tc.params, &EvaluationKeySet{Galois: gks})
+	n := tc.params.Slots()
+	f := func(seed uint64) bool {
+		a := valuesFromSeed(n, seed)
+		ct := tc.encSk.Encrypt(tc.enc.Encode(a))
+		// rotate(rotate(x,1),2) == rotate(x,3)
+		r12 := ev.Rotate(ev.Rotate(ct, 1), 2)
+		r3 := ev.Rotate(ct, 3)
+		g12 := tc.enc.Decode(tc.dec.DecryptToPlaintext(r12))
+		g3 := tc.enc.Decode(tc.dec.DecryptToPlaintext(r3))
+		for i := range a {
+			if cmplx.Abs(g12[i]-g3[i]) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 4}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyEncodeDecodeStable(t *testing.T) {
+	tc := propContextFor(t)
+	n := tc.params.Slots()
+	f := func(seed uint64) bool {
+		a := valuesFromSeed(n, seed)
+		got := tc.enc.Decode(tc.enc.Encode(a))
+		for i := range a {
+			if cmplx.Abs(got[i]-a[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

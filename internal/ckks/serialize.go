@@ -1,0 +1,183 @@
+package ckks
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/prng"
+	"repro/internal/ring"
+	"repro/internal/rns"
+)
+
+// Wire formats for ciphertexts and switching keys. Switching keys come in
+// two encodings: full (both halves of every digit) and compressed (the
+// uniform half replaced by its 32-byte PRNG seed) — the paper's §3.2 key
+// compression, "a folklore technique often used to reduce communication
+// when sending ciphertexts or keys over a network", which this library
+// uses both on the wire and to halve switching-key DRAM traffic.
+
+const ctFormatVersion = 1
+
+// WriteTo serializes the ciphertext (header, scale, both polynomials).
+func (ct *Ciphertext) WriteTo(w io.Writer) (int64, error) {
+	header := make([]byte, 16)
+	header[0] = ctFormatVersion
+	binary.LittleEndian.PutUint16(header[2:], uint16(ct.Level))
+	binary.LittleEndian.PutUint64(header[8:], math.Float64bits(ct.Scale))
+	n, err := w.Write(header)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	for _, p := range []*ring.Poly{ct.C0, ct.C1} {
+		m, err := p.WriteTo(w)
+		total += m
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadFrom deserializes a ciphertext written by WriteTo.
+func (ct *Ciphertext) ReadFrom(r io.Reader) (int64, error) {
+	header := make([]byte, 16)
+	n, err := io.ReadFull(r, header)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	if header[0] != ctFormatVersion {
+		return total, fmt.Errorf("ckks: unsupported ciphertext format version %d", header[0])
+	}
+	ct.Level = int(binary.LittleEndian.Uint16(header[2:]))
+	ct.Scale = math.Float64frombits(binary.LittleEndian.Uint64(header[8:]))
+	if ct.Scale <= 0 || math.IsNaN(ct.Scale) || math.IsInf(ct.Scale, 0) {
+		return total, fmt.Errorf("ckks: implausible ciphertext scale %v", ct.Scale)
+	}
+	ct.C0, ct.C1 = &ring.Poly{}, &ring.Poly{}
+	for _, p := range []*ring.Poly{ct.C0, ct.C1} {
+		m, err := p.ReadFrom(r)
+		total += m
+		if err != nil {
+			return total, err
+		}
+	}
+	if ct.C0.Level() != ct.C1.Level() || ct.C0.Level() != ct.Level {
+		return total, fmt.Errorf("ckks: ciphertext limb counts disagree with header level %d", ct.Level)
+	}
+	return total, nil
+}
+
+const swkFormatVersion = 1
+
+// WriteTo serializes the switching key. Compressed keys write one seed
+// per digit in place of the uniform polynomial, halving the wire size.
+func (k *SwitchingKey) WriteTo(w io.Writer) (int64, error) {
+	header := make([]byte, 8)
+	header[0] = swkFormatVersion
+	if k.Compressed() {
+		header[1] = 1
+	}
+	binary.LittleEndian.PutUint16(header[2:], uint16(len(k.Digits)))
+	n, err := w.Write(header)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	for j, d := range k.Digits {
+		for _, p := range []*ring.Poly{d.B.Q, d.B.P} {
+			m, err := p.WriteTo(w)
+			total += m
+			if err != nil {
+				return total, err
+			}
+		}
+		if k.Compressed() {
+			n, err := w.Write(k.Seeds[j][:])
+			total += int64(n)
+			if err != nil {
+				return total, err
+			}
+			continue
+		}
+		for _, p := range []*ring.Poly{d.A.Q, d.A.P} {
+			m, err := p.WriteTo(w)
+			total += m
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// ReadSwitchingKey deserializes a switching key. Compressed keys come
+// back with their seeds; the uniform halves are re-expanded lazily on
+// first use by the evaluator (or eagerly via ExpandAll).
+func ReadSwitchingKey(r io.Reader) (*SwitchingKey, int64, error) {
+	header := make([]byte, 8)
+	n, err := io.ReadFull(r, header)
+	total := int64(n)
+	if err != nil {
+		return nil, total, err
+	}
+	if header[0] != swkFormatVersion {
+		return nil, total, fmt.Errorf("ckks: unsupported switching-key format version %d", header[0])
+	}
+	compressed := header[1]&1 == 1
+	digits := int(binary.LittleEndian.Uint16(header[2:]))
+	if digits == 0 || digits > 1<<8 {
+		return nil, total, fmt.Errorf("ckks: implausible digit count %d", digits)
+	}
+	k := &SwitchingKey{Digits: make([]KSKDigit, digits)}
+	if compressed {
+		k.Seeds = make([][prng.SeedSize]byte, digits)
+	}
+	for j := range k.Digits {
+		var b rns.PolyQP
+		b.Q, b.P = &ring.Poly{}, &ring.Poly{}
+		for _, p := range []*ring.Poly{b.Q, b.P} {
+			m, err := p.ReadFrom(r)
+			total += m
+			if err != nil {
+				return nil, total, err
+			}
+		}
+		k.Digits[j].B = b
+		if compressed {
+			m, err := io.ReadFull(r, k.Seeds[j][:])
+			total += int64(m)
+			if err != nil {
+				return nil, total, err
+			}
+			continue
+		}
+		var a rns.PolyQP
+		a.Q, a.P = &ring.Poly{}, &ring.Poly{}
+		for _, p := range []*ring.Poly{a.Q, a.P} {
+			m, err := p.ReadFrom(r)
+			total += m
+			if err != nil {
+				return nil, total, err
+			}
+		}
+		k.Digits[j].A = a
+	}
+	return k, total, nil
+}
+
+// ExpandAll eagerly regenerates the uniform halves of a compressed key so
+// later evaluation paths never pay the expansion cost.
+func (k *SwitchingKey) ExpandAll(params *Parameters) {
+	if !k.Compressed() {
+		return
+	}
+	for j := range k.Digits {
+		if k.Digits[j].A.Q == nil {
+			k.Digits[j].A = expandKSKRandom(params, k.Seeds[j])
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package ckks
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCiphertextSerializationRoundTrip(t *testing.T) {
+	tc := newTestContext(t)
+	vals := randomValues(tc.params.Slots(), 1)
+	ct := tc.encSk.Encrypt(tc.enc.Encode(vals))
+
+	var buf bytes.Buffer
+	n, err := ct.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	var back Ciphertext
+	m, err := back.ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Errorf("ReadFrom consumed %d bytes, want %d", m, n)
+	}
+	if back.Level != ct.Level || !sameScale(back.Scale, ct.Scale) {
+		t.Error("metadata did not survive the round trip")
+	}
+	if !back.C0.Equal(ct.C0) || !back.C1.Equal(ct.C1) {
+		t.Error("polynomials did not survive the round trip")
+	}
+	// Semantics preserved end to end.
+	got := tc.enc.Decode(tc.dec.DecryptToPlaintext(&back))
+	if err := maxErr(vals, got); err > 1e-6 {
+		t.Errorf("decryption after round trip: error %.3g", err)
+	}
+}
+
+func TestCiphertextSerializationAtLowLevel(t *testing.T) {
+	tc := newTestContext(t)
+	ev := NewEvaluator(tc.params, nil)
+	ct := ev.DropLevel(tc.encSk.Encrypt(tc.enc.Encode(randomValues(4, 1))), 1)
+
+	var buf bytes.Buffer
+	if _, err := ct.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Ciphertext
+	if _, err := back.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.Level != 1 || back.C0.Level() != 1 {
+		t.Errorf("level-%d ciphertext came back at level %d", ct.Level, back.Level)
+	}
+}
+
+func TestCiphertextDeserializationRejectsGarbage(t *testing.T) {
+	var ct Ciphertext
+	if _, err := ct.ReadFrom(strings.NewReader("not a ciphertext at all......")); err == nil {
+		t.Error("expected an error for garbage input")
+	}
+	// Bad version byte.
+	bad := make([]byte, 64)
+	bad[0] = 99
+	if _, err := ct.ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("expected an error for a bad version")
+	}
+	// Truncated stream.
+	tc := newTestContext(t)
+	good := tc.encSk.Encrypt(tc.enc.Encode(randomValues(4, 1)))
+	var buf bytes.Buffer
+	if _, err := good.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ct.ReadFrom(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("expected an error for a truncated stream")
+	}
+}
+
+// TestSwitchingKeySerializationCompressionRatio checks the §3.2 claim on
+// the wire: the compressed encoding is half the size (plus the seeds) and
+// still evaluates identically after deserialization + re-expansion.
+func TestSwitchingKeySerializationCompressionRatio(t *testing.T) {
+	tc := newTestContext(t)
+	full := tc.kg.GenRelinearizationKey(tc.sk, false)
+	comp := tc.kg.GenRelinearizationKey(tc.sk, true)
+
+	var fullBuf, compBuf bytes.Buffer
+	if _, err := full.SwitchingKey.WriteTo(&fullBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := comp.SwitchingKey.WriteTo(&compBuf); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(compBuf.Len()) / float64(fullBuf.Len())
+	if ratio > 0.51 {
+		t.Errorf("compressed/full wire ratio %.3f, want ≈ 0.5", ratio)
+	}
+
+	// Round-trip the compressed key and use it.
+	back, _, err := ReadSwitchingKey(&compBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Compressed() {
+		t.Fatal("compression flag lost")
+	}
+	back.ExpandAll(tc.params)
+	rlk := &RelinearizationKey{SwitchingKey: *back}
+	ev := NewEvaluator(tc.params, &EvaluationKeySet{Rlk: rlk})
+	vals := randomValues(tc.params.Slots(), 1)
+	ct := tc.encSk.Encrypt(tc.enc.Encode(vals))
+	got := tc.enc.Decode(tc.dec.DecryptToPlaintext(ev.Mul(ct, ct)))
+	want := make([]complex128, len(vals))
+	for i := range want {
+		want[i] = vals[i] * vals[i]
+	}
+	if err := maxErr(want, got); err > 1e-4 {
+		t.Errorf("deserialized compressed key mis-evaluates: %.3g", err)
+	}
+}
+
+func TestSwitchingKeyFullRoundTrip(t *testing.T) {
+	tc := newTestContext(t)
+	gk := tc.kg.GenGaloisKey(tc.params.RingQ().GaloisElement(1), tc.sk, false)
+
+	var buf bytes.Buffer
+	if _, err := gk.SwitchingKey.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, n, err := ReadSwitchingKey(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || back.Compressed() {
+		t.Fatal("bad round trip")
+	}
+	for j := range back.Digits {
+		if !back.Digits[j].B.Q.Equal(gk.Digits[j].B.Q) || !back.Digits[j].A.P.Equal(gk.Digits[j].A.P) {
+			t.Fatalf("digit %d corrupted", j)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/simfhe"
+	"repro/internal/simfhe/apps"
+)
+
+// Machine-readable export of every experiment, so the tables and figures
+// can be re-plotted without re-running the simulator.
+
+// CostJSON is the serialized form of a simulator cost.
+type CostJSON struct {
+	MulMod              uint64  `json:"mulmod"`
+	AddMod              uint64  `json:"addmod"`
+	CtReadBytes         uint64  `json:"ct_read_bytes"`
+	CtWriteBytes        uint64  `json:"ct_write_bytes"`
+	KeyReadBytes        uint64  `json:"key_read_bytes"`
+	PtReadBytes         uint64  `json:"pt_read_bytes"`
+	OrientationSwitches uint64  `json:"orientation_switches"`
+	GOps                float64 `json:"gops"`
+	GB                  float64 `json:"gb"`
+	AI                  float64 `json:"ai"`
+}
+
+func costJSON(c simfhe.Cost) CostJSON {
+	return CostJSON{
+		MulMod: c.MulMod, AddMod: c.AddMod,
+		CtReadBytes: c.CtRead, CtWriteBytes: c.CtWrite,
+		KeyReadBytes: c.KeyRead, PtReadBytes: c.PtRead,
+		OrientationSwitches: c.OrientationSwitches,
+		GOps:                c.GOps(), GB: c.GB(), AI: c.AI(),
+	}
+}
+
+// Report is the full experiment dump.
+type Report struct {
+	Table4 []struct {
+		Name  string   `json:"name"`
+		Cost  CostJSON `json:"cost"`
+		Paper struct {
+			GOps float64 `json:"gops"`
+			GB   float64 `json:"gb"`
+			AI   float64 `json:"ai"`
+		} `json:"paper"`
+	} `json:"table4"`
+	Figure2 []struct {
+		Name    string   `json:"name"`
+		CacheMB int      `json:"cache_mb"`
+		Cost    CostJSON `json:"cost"`
+	} `json:"figure2"`
+	Figure3 []struct {
+		Name string   `json:"name"`
+		Cost CostJSON `json:"cost"`
+	} `json:"figure3"`
+	Table5 struct {
+		Baseline     simfhe.Params `json:"baseline"`
+		PaperOptimal simfhe.Params `json:"paper_optimal"`
+		SearchBest   struct {
+			Params     simfhe.Params `json:"params"`
+			Throughput float64       `json:"throughput"`
+			RuntimeMs  float64       `json:"runtime_ms"`
+			LogQ1      int           `json:"logq1"`
+		} `json:"search_best"`
+	} `json:"table5"`
+	Table6 []struct {
+		Design       string  `json:"design"`
+		OrigTput     float64 `json:"orig_throughput"`
+		MADTput      float64 `json:"mad_throughput"`
+		MADRuntimeMs float64 `json:"mad_runtime_ms"`
+		Normalized   float64 `json:"normalized"`
+	} `json:"table6"`
+	Figure6LR     map[string][]Fig6PointJSON `json:"figure6_lr"`
+	Figure6ResNet map[string][]Fig6PointJSON `json:"figure6_resnet"`
+}
+
+// Fig6PointJSON is one application bar.
+type Fig6PointJSON struct {
+	Label     string  `json:"label"`
+	RuntimeS  float64 `json:"runtime_s"`
+	Published bool    `json:"published"`
+}
+
+// BuildReport runs every experiment and assembles the dump.
+func BuildReport() Report {
+	var r Report
+	for _, row := range Table4() {
+		entry := struct {
+			Name  string   `json:"name"`
+			Cost  CostJSON `json:"cost"`
+			Paper struct {
+				GOps float64 `json:"gops"`
+				GB   float64 `json:"gb"`
+				AI   float64 `json:"ai"`
+			} `json:"paper"`
+		}{Name: row.Name, Cost: costJSON(row.Cost)}
+		entry.Paper.GOps, entry.Paper.GB, entry.Paper.AI = row.Paper.GOps, row.Paper.GB, row.Paper.AI
+		r.Table4 = append(r.Table4, entry)
+	}
+	for _, pt := range Figure2() {
+		r.Figure2 = append(r.Figure2, struct {
+			Name    string   `json:"name"`
+			CacheMB int      `json:"cache_mb"`
+			Cost    CostJSON `json:"cost"`
+		}{pt.Name, pt.CacheMB, costJSON(pt.Cost)})
+	}
+	for _, pt := range Figure3() {
+		r.Figure3 = append(r.Figure3, struct {
+			Name string   `json:"name"`
+			Cost CostJSON `json:"cost"`
+		}{pt.Name, costJSON(pt.Cost)})
+	}
+	baseline, paperOpt, best := Table5()
+	r.Table5.Baseline = baseline
+	r.Table5.PaperOptimal = paperOpt
+	r.Table5.SearchBest.Params = best.Params
+	r.Table5.SearchBest.Throughput = best.Throughput
+	r.Table5.SearchBest.RuntimeMs = best.RuntimeMs
+	r.Table5.SearchBest.LogQ1 = best.LogQ1
+	for _, row := range Table6() {
+		r.Table6 = append(r.Table6, struct {
+			Design       string  `json:"design"`
+			OrigTput     float64 `json:"orig_throughput"`
+			MADTput      float64 `json:"mad_throughput"`
+			MADRuntimeMs float64 `json:"mad_runtime_ms"`
+			Normalized   float64 `json:"normalized"`
+		}{row.Original.Name, row.OrigTput, row.MAD.Throughput, row.MAD.RuntimeMs, row.Normalized})
+	}
+	r.Figure6LR = fig6JSON(Figure6LR())
+	r.Figure6ResNet = fig6JSON(Figure6ResNet())
+	return r
+}
+
+func fig6JSON(data map[string][]appsFigure6Point) map[string][]Fig6PointJSON {
+	out := make(map[string][]Fig6PointJSON, len(data))
+	for name, pts := range data {
+		for _, pt := range pts {
+			out[name] = append(out[name], Fig6PointJSON{pt.Label, pt.RuntimeS, pt.Published})
+		}
+	}
+	return out
+}
+
+// WriteJSON writes the full report, indented, to w.
+func WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildReport())
+}
+
+// appsFigure6Point aliases the apps package's point type structurally so
+// fig6JSON accepts Figure6LR/Figure6ResNet output without an import cycle
+// concern in callers.
+type appsFigure6Point = apps.Figure6Point

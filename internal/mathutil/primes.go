@@ -1,0 +1,155 @@
+package mathutil
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// IsPrime reports whether q is prime. For q < 3,317,044,064,679,887,385,961,981
+// (far above 2^64) the deterministic Miller–Rabin witness set used here is
+// exact, so the answer is never probabilistic.
+func IsPrime(q uint64) bool {
+	if q < 2 {
+		return false
+	}
+	for _, p := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if q == p {
+			return true
+		}
+		if q%p == 0 {
+			return false
+		}
+	}
+	// q-1 = d * 2^r with d odd.
+	d := q - 1
+	r := bits.TrailingZeros64(d)
+	d >>= r
+
+	br := NewBarrett(q)
+witness:
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		x := PowMod(a, d, q)
+		if x == 1 || x == q-1 {
+			continue
+		}
+		for i := 0; i < r-1; i++ {
+			x = br.MulMod(x, x)
+			if x == q-1 {
+				continue witness
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// GenerateNTTPrimes returns count distinct primes of (approximately)
+// bitLen bits, each congruent to 1 modulo 2N, scanning downward from
+// 2^bitLen. Such primes support a negacyclic NTT of length N.
+// It returns an error if the supply of suitable primes below 2^bitLen is
+// exhausted before count primes are found.
+func GenerateNTTPrimes(bitLen, logN, count int) ([]uint64, error) {
+	if bitLen < logN+2 || bitLen > MaxModulusBits {
+		return nil, fmt.Errorf("mathutil: bit length %d out of range for logN=%d", bitLen, logN)
+	}
+	m := uint64(2) << logN // 2N
+	primes := make([]uint64, 0, count)
+	// Largest candidate ≡ 1 (mod 2N) strictly below 2^bitLen.
+	upper := uint64(1) << bitLen
+	for c := (upper-2)/m*m + 1; c > upper/2 && len(primes) < count; c -= m {
+		if IsPrime(c) {
+			primes = append(primes, c)
+		}
+	}
+	if len(primes) < count {
+		return nil, fmt.Errorf("mathutil: only %d/%d NTT primes of %d bits for logN=%d", len(primes), count, bitLen, logN)
+	}
+	return primes, nil
+}
+
+// GenerateNTTPrimesNear returns count distinct primes ≡ 1 (mod 2N)
+// alternating above and below 2^bitLen, so their product stays as close as
+// possible to 2^(bitLen·count). CKKS rescaling prefers limb moduli close to
+// the scaling factor Δ = 2^bitLen.
+func GenerateNTTPrimesNear(bitLen, logN, count int) ([]uint64, error) {
+	if bitLen < logN+2 || bitLen >= MaxModulusBits {
+		return nil, fmt.Errorf("mathutil: bit length %d out of range for logN=%d", bitLen, logN)
+	}
+	m := uint64(2) << logN
+	center := uint64(1) << bitLen
+	lo := (center-2)/m*m + 1 // largest candidate < center
+	hi := lo + m             // smallest candidate > center
+	primes := make([]uint64, 0, count)
+	for len(primes) < count {
+		if hi >= center*2 && lo <= center/2 {
+			return nil, fmt.Errorf("mathutil: exhausted %d-bit NTT prime candidates for logN=%d", bitLen, logN)
+		}
+		if hi < center*2 {
+			if IsPrime(hi) {
+				primes = append(primes, hi)
+			}
+			hi += m
+		}
+		if len(primes) < count && lo > center/2 {
+			if IsPrime(lo) {
+				primes = append(primes, lo)
+			}
+			lo -= m
+		}
+	}
+	return primes, nil
+}
+
+// PrimitiveRoot returns a generator of the multiplicative group (Z/qZ)* for
+// prime q. It factors q-1 by trial division (fine for the smooth q-1 of NTT
+// primes) and tests candidates against each prime factor.
+func PrimitiveRoot(q uint64) uint64 {
+	factors := primeFactors(q - 1)
+	for g := uint64(2); ; g++ {
+		ok := true
+		for _, f := range factors {
+			if PowMod(g, (q-1)/f, q) == 1 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return g
+		}
+	}
+}
+
+// RootOfUnity returns a primitive m-th root of unity modulo prime q.
+// It panics if m does not divide q-1 (the root does not exist), which
+// indicates the modulus was not generated for this transform length.
+func RootOfUnity(m, q uint64) uint64 {
+	if (q-1)%m != 0 {
+		panic(fmt.Sprintf("mathutil: no %d-th root of unity mod %d", m, q))
+	}
+	g := PrimitiveRoot(q)
+	return PowMod(g, (q-1)/m, q)
+}
+
+// primeFactors returns the distinct prime factors of n in increasing order.
+func primeFactors(n uint64) []uint64 {
+	var factors []uint64
+	appendFactor := func(f uint64) {
+		if len(factors) == 0 || factors[len(factors)-1] != f {
+			factors = append(factors, f)
+		}
+	}
+	for n%2 == 0 {
+		appendFactor(2)
+		n /= 2
+	}
+	for f := uint64(3); f*f <= n; f += 2 {
+		for n%f == 0 {
+			appendFactor(f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		appendFactor(n)
+	}
+	return factors
+}

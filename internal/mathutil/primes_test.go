@@ -1,0 +1,161 @@
+package mathutil
+
+import (
+	"testing"
+)
+
+func TestIsPrimeSmall(t *testing.T) {
+	known := map[uint64]bool{
+		0: false, 1: false, 2: true, 3: true, 4: false, 5: true,
+		25: false, 97: true, 561: false /* Carmichael */, 7919: true,
+		1<<31 - 1: true, 1<<32 + 15: true, 1 << 32: false,
+	}
+	for n, want := range known {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestIsPrimeAgainstSieve(t *testing.T) {
+	const limit = 20000
+	sieve := make([]bool, limit)
+	for i := 2; i < limit; i++ {
+		if !sieve[i] {
+			for j := i * i; j < limit; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+	for n := uint64(0); n < limit; n++ {
+		want := n >= 2 && !sieve[n]
+		if got := IsPrime(n); got != want {
+			t.Fatalf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestGenerateNTTPrimes(t *testing.T) {
+	for _, tc := range []struct{ bitLen, logN, count int }{
+		{30, 10, 5},
+		{40, 12, 8},
+		{55, 13, 10},
+		{60, 14, 6},
+	} {
+		primes, err := GenerateNTTPrimes(tc.bitLen, tc.logN, tc.count)
+		if err != nil {
+			t.Fatalf("GenerateNTTPrimes(%d,%d,%d): %v", tc.bitLen, tc.logN, tc.count, err)
+		}
+		if len(primes) != tc.count {
+			t.Fatalf("got %d primes, want %d", len(primes), tc.count)
+		}
+		seen := map[uint64]bool{}
+		m := uint64(2) << tc.logN
+		for _, q := range primes {
+			if seen[q] {
+				t.Errorf("duplicate prime %d", q)
+			}
+			seen[q] = true
+			if !IsPrime(q) {
+				t.Errorf("%d is not prime", q)
+			}
+			if q%m != 1 {
+				t.Errorf("%d ≢ 1 (mod %d)", q, m)
+			}
+			if q >= uint64(1)<<tc.bitLen {
+				t.Errorf("%d exceeds 2^%d", q, tc.bitLen)
+			}
+		}
+	}
+}
+
+func TestGenerateNTTPrimesNear(t *testing.T) {
+	primes, err := GenerateNTTPrimesNear(45, 12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := uint64(2) << 12
+	center := uint64(1) << 45
+	for _, q := range primes {
+		if !IsPrime(q) || q%m != 1 {
+			t.Errorf("bad prime %d", q)
+		}
+		// All primes should be within a small relative distance of 2^45.
+		diff := int64(q) - int64(center)
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff)/float64(center) > 0.001 {
+			t.Errorf("prime %d too far from 2^45", q)
+		}
+	}
+}
+
+func TestGenerateNTTPrimesErrors(t *testing.T) {
+	if _, err := GenerateNTTPrimes(10, 12, 1); err == nil {
+		t.Error("expected error for bitLen < logN+2")
+	}
+	if _, err := GenerateNTTPrimes(63, 12, 1); err == nil {
+		t.Error("expected error for bitLen > MaxModulusBits")
+	}
+	// Demanding an absurd number of primes in a tiny window must fail.
+	if _, err := GenerateNTTPrimes(16, 13, 100); err == nil {
+		t.Error("expected exhaustion error")
+	}
+}
+
+func TestPrimitiveRoot(t *testing.T) {
+	for _, q := range []uint64{12289, 40961, 786433} {
+		g := PrimitiveRoot(q)
+		// g must have order exactly q-1: g^((q-1)/f) != 1 for each prime f | q-1.
+		for _, f := range primeFactors(q - 1) {
+			if PowMod(g, (q-1)/f, q) == 1 {
+				t.Errorf("q=%d: %d is not a primitive root", q, g)
+			}
+		}
+		if PowMod(g, q-1, q) != 1 {
+			t.Errorf("q=%d: Fermat violated for g=%d", q, g)
+		}
+	}
+}
+
+func TestRootOfUnity(t *testing.T) {
+	q := uint64(786433) // 786433 - 1 = 2^18 * 3
+	for _, m := range []uint64{2, 4, 8, 1 << 18} {
+		w := RootOfUnity(m, q)
+		if PowMod(w, m, q) != 1 {
+			t.Errorf("w^%d != 1", m)
+		}
+		if m > 1 && PowMod(w, m/2, q) == 1 {
+			t.Errorf("w has order < %d", m)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RootOfUnity should panic when m does not divide q-1")
+		}
+	}()
+	RootOfUnity(1<<20, q)
+}
+
+func TestPrimeFactors(t *testing.T) {
+	cases := map[uint64][]uint64{
+		2:      {2},
+		12:     {2, 3},
+		360:    {2, 3, 5},
+		786432: {2, 3}, // 2^18 * 3
+		97:     {97},
+	}
+	for n, want := range cases {
+		got := primeFactors(n)
+		if len(got) != len(want) {
+			t.Errorf("primeFactors(%d) = %v, want %v", n, got, want)
+			continue
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("primeFactors(%d) = %v, want %v", n, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package ring
+
+import (
+	"math/bits"
+
+	"repro/internal/mathutil"
+)
+
+// NTT transforms the limb p (natural coefficient order) into evaluation
+// form (bit-reversed order) in place, using the negacyclic Cooley–Tukey
+// algorithm with the 2N-th root of unity merged into the twiddles.
+//
+// The butterflies use Harvey's lazy reduction: values stay below 4q
+// through the passes (2q after the conditional fold, plus a < 2q Shoup
+// product), with a single exact-reduction sweep at the end. Moduli are
+// capped at 61 bits (mathutil.MaxModulusBits) so 4q never overflows.
+func (s *SubRing) NTT(p []uint64) {
+	n, q := s.N, s.Q
+	twoQ := 2 * q
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			w := s.twiddle[m+i]
+			ws := s.twiddleShoup[m+i]
+			j1 := 2 * i * t
+			for j := j1; j < j1+t; j++ {
+				u := p[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := lazyMulShoup(p[j+t], w, ws, q) // < 2q
+				p[j] = u + v                        // < 4q
+				p[j+t] = u + twoQ - v               // < 4q
+			}
+		}
+	}
+	for j := range p {
+		v := p[j]
+		if v >= twoQ {
+			v -= twoQ
+		}
+		if v >= q {
+			v -= q
+		}
+		p[j] = v
+	}
+}
+
+// lazyMulShoup returns (x·w) mod q lazily in [0, 2q), valid for any
+// x < 2^62 with w < q (the quotient estimate errs by at most one).
+func lazyMulShoup(x, w, wShoup, q uint64) uint64 {
+	qhat, _ := bits.Mul64(x, wShoup)
+	return x*w - qhat*q
+}
+
+// INTT transforms the limb p from evaluation form (bit-reversed order) back
+// to natural coefficient order in place, using the Gentleman–Sande
+// algorithm, folding in the final multiplication by N^{-1}.
+//
+// Lazy reduction mirrors NTT: sums stay below 4q (folded to < 2q before
+// each butterfly); the closing N^{-1} sweep performs the exact reduction.
+func (s *SubRing) INTT(p []uint64) {
+	n, q := s.N, s.Q
+	twoQ := 2 * q
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		h := m >> 1
+		j1 := 0
+		for i := 0; i < h; i++ {
+			w := s.invTwiddle[h+i]
+			ws := s.invTwiddleShoup[h+i]
+			for j := j1; j < j1+t; j++ {
+				u := p[j]
+				v := p[j+t]
+				sum := u + v // < 8q: fold to < 4q before storing
+				if sum >= 2*twoQ {
+					sum -= 2 * twoQ
+				}
+				if sum >= twoQ {
+					sum -= twoQ
+				}
+				p[j] = sum                                  // < 2q
+				p[j+t] = lazyMulShoup(u+2*twoQ-v, w, ws, q) // input < 8q < 2^62
+			}
+			j1 += t << 1
+		}
+		t <<= 1
+	}
+	for j := range p {
+		v := mathutil.MulModShoup(lazyReduce(p[j], q), s.nInv, s.nInvShoup, q)
+		p[j] = v
+	}
+}
+
+// lazyReduce folds a value < 4q into [0, q).
+func lazyReduce(v, q uint64) uint64 {
+	if v >= 2*q {
+		v -= 2 * q
+	}
+	if v >= q {
+		v -= q
+	}
+	return v
+}
+
+// NTTPoly transforms every limb of p into evaluation form.
+func (r *Ring) NTTPoly(p *Poly) {
+	for i, s := range r.SubRings {
+		s.NTT(p.Coeffs[i])
+	}
+	p.IsNTT = true
+}
+
+// INTTPoly transforms every limb of p back to coefficient form.
+func (r *Ring) INTTPoly(p *Poly) {
+	for i, s := range r.SubRings {
+		s.INTT(p.Coeffs[i])
+	}
+	p.IsNTT = false
+}

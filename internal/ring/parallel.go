@@ -1,0 +1,75 @@
+package ring
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Parallel limb transforms: the NTT operates on each limb independently
+// (the paper's Table 3 "limb-wise" access pattern is exactly this
+// independence), so a polynomial's limbs transform concurrently with
+// bit-identical results. Useful for the bootstrapping pipeline, where a
+// raised polynomial carries dozens of limbs.
+
+// maxWorkers bounds the worker count to the limb count and the machine.
+func maxWorkers(limbs, requested int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > limbs {
+		w = limbs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachLimb runs fn(i) for every limb index concurrently.
+func (r *Ring) forEachLimb(workers int, fn func(i int)) {
+	limbs := len(r.SubRings)
+	w := maxWorkers(limbs, workers)
+	if w == 1 {
+		for i := 0; i < limbs; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, limbs)
+	for i := 0; i < limbs; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NTTPolyParallel transforms every limb of p into evaluation form using
+// up to `workers` goroutines (0 means GOMAXPROCS). The result is
+// bit-identical to NTTPoly.
+func (r *Ring) NTTPolyParallel(p *Poly, workers int) {
+	r.checkCompat(p)
+	r.forEachLimb(workers, func(i int) {
+		r.SubRings[i].NTT(p.Coeffs[i])
+	})
+	p.IsNTT = true
+}
+
+// INTTPolyParallel is the inverse counterpart of NTTPolyParallel.
+func (r *Ring) INTTPolyParallel(p *Poly, workers int) {
+	r.checkCompat(p)
+	r.forEachLimb(workers, func(i int) {
+		r.SubRings[i].INTT(p.Coeffs[i])
+	})
+	p.IsNTT = false
+}

@@ -1,0 +1,85 @@
+package ring
+
+import (
+	"math"
+
+	"repro/internal/prng"
+)
+
+// DefaultSigma is the standard deviation of the discrete Gaussian error
+// distribution, the value used throughout the HE standardization effort.
+const DefaultSigma = 3.2
+
+// errBound truncates Gaussian samples at ±6σ, standard practice in HE
+// libraries (rejection beyond the bound).
+const errBoundSigmas = 6.0
+
+// SampleUniform fills p (evaluation or coefficient form is the caller's
+// choice; the sample is uniform either way) with independent uniform
+// values per limb. The NTT flag of p is left unchanged.
+func (r *Ring) SampleUniform(src *prng.Source, p *Poly) {
+	r.checkCompat(p)
+	for i, s := range r.SubRings {
+		src.UniformSlice(p.Coeffs[i][:r.N], s.Q)
+	}
+}
+
+// SampleTernary fills p in coefficient form with coefficients drawn from
+// {-1, 0, +1}, where ±1 each occur with probability density/2. CKKS secret
+// keys conventionally use density 2/3 (uniform ternary).
+func (r *Ring) SampleTernary(src *prng.Source, density float64, p *Poly) {
+	r.checkCompat(p)
+	for j := 0; j < r.N; j++ {
+		u := src.Float64()
+		var v int64
+		switch {
+		case u < density/2:
+			v = 1
+		case u < density:
+			v = -1
+		}
+		r.setSmallCoeff(p, j, v)
+	}
+	p.IsNTT = false
+}
+
+// SampleGaussian fills p in coefficient form with a discrete Gaussian of
+// standard deviation sigma, truncated at 6σ, using Box–Muller sampling
+// followed by rounding.
+func (r *Ring) SampleGaussian(src *prng.Source, sigma float64, p *Poly) {
+	r.checkCompat(p)
+	bound := errBoundSigmas * sigma
+	for j := 0; j < r.N; j += 2 {
+		var x, y float64
+		for {
+			u1 := src.Float64()
+			for u1 == 0 {
+				u1 = src.Float64()
+			}
+			u2 := src.Float64()
+			rad := sigma * math.Sqrt(-2*math.Log(u1))
+			x = rad * math.Cos(2*math.Pi*u2)
+			y = rad * math.Sin(2*math.Pi*u2)
+			if math.Abs(x) <= bound && math.Abs(y) <= bound {
+				break
+			}
+		}
+		r.setSmallCoeff(p, j, int64(math.Round(x)))
+		if j+1 < r.N {
+			r.setSmallCoeff(p, j+1, int64(math.Round(y)))
+		}
+	}
+	p.IsNTT = false
+}
+
+// setSmallCoeff writes a small signed integer into coefficient j of every
+// limb, mapping negatives to q - |v|.
+func (r *Ring) setSmallCoeff(p *Poly, j int, v int64) {
+	for i, s := range r.SubRings {
+		if v >= 0 {
+			p.Coeffs[i][j] = uint64(v) % s.Q
+		} else {
+			p.Coeffs[i][j] = s.Q - uint64(-v)%s.Q
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Serialization of polynomials: a small fixed header (limb count,
+// degree, representation flag) followed by the limbs as little-endian
+// 64-bit words. The format is versioned so future layout changes stay
+// detectable.
+
+const polyFormatVersion = 1
+
+// WriteTo serializes the polynomial. It implements io.WriterTo.
+func (p *Poly) WriteTo(w io.Writer) (int64, error) {
+	if len(p.Coeffs) == 0 {
+		return 0, fmt.Errorf("ring: cannot serialize an empty polynomial")
+	}
+	n := len(p.Coeffs[0])
+	var flags uint8
+	if p.IsNTT {
+		flags = 1
+	}
+	header := make([]byte, 12)
+	header[0] = polyFormatVersion
+	header[1] = flags
+	binary.LittleEndian.PutUint16(header[2:], uint16(len(p.Coeffs)))
+	binary.LittleEndian.PutUint32(header[4:], uint32(n))
+	// header[8:12] reserved.
+	written, err := w.Write(header)
+	total := int64(written)
+	if err != nil {
+		return total, err
+	}
+	buf := make([]byte, 8*n)
+	for _, limb := range p.Coeffs {
+		if len(limb) != n {
+			return total, fmt.Errorf("ring: ragged limb lengths")
+		}
+		for j, v := range limb {
+			binary.LittleEndian.PutUint64(buf[8*j:], v)
+		}
+		written, err = w.Write(buf)
+		total += int64(written)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ReadFrom deserializes into p, replacing its contents. It implements
+// io.ReaderFrom.
+func (p *Poly) ReadFrom(r io.Reader) (int64, error) {
+	header := make([]byte, 12)
+	read, err := io.ReadFull(r, header)
+	total := int64(read)
+	if err != nil {
+		return total, err
+	}
+	if header[0] != polyFormatVersion {
+		return total, fmt.Errorf("ring: unsupported polynomial format version %d", header[0])
+	}
+	limbs := int(binary.LittleEndian.Uint16(header[2:]))
+	n := int(binary.LittleEndian.Uint32(header[4:]))
+	if limbs == 0 || n == 0 || n&(n-1) != 0 || n > 1<<20 || limbs > 1<<12 {
+		return total, fmt.Errorf("ring: implausible polynomial shape %d limbs × %d coeffs", limbs, n)
+	}
+	p.IsNTT = header[1]&1 == 1
+	p.Coeffs = make([][]uint64, limbs)
+	backing := make([]uint64, limbs*n)
+	buf := make([]byte, 8*n)
+	for i := range p.Coeffs {
+		read, err = io.ReadFull(r, buf)
+		total += int64(read)
+		if err != nil {
+			return total, err
+		}
+		p.Coeffs[i], backing = backing[:n:n], backing[n:]
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = binary.LittleEndian.Uint64(buf[8*j:])
+		}
+	}
+	return total, nil
+}
+
+// SerializedSize returns the exact byte size WriteTo will produce.
+func (p *Poly) SerializedSize() int {
+	if len(p.Coeffs) == 0 {
+		return 12
+	}
+	return 12 + 8*len(p.Coeffs)*len(p.Coeffs[0])
+}

@@ -1,0 +1,95 @@
+package ring
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPolySerializationRoundTrip(t *testing.T) {
+	r := testRing(t, 256, 3)
+	src := fixedSource()
+	p := r.NewPoly()
+	r.SampleUniform(src, p)
+	p.IsNTT = true
+
+	var buf bytes.Buffer
+	n, err := p.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(n) != p.SerializedSize() || buf.Len() != p.SerializedSize() {
+		t.Errorf("wrote %d bytes, SerializedSize says %d", n, p.SerializedSize())
+	}
+
+	var back Poly
+	m, err := back.ReadFrom(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Errorf("read %d bytes, wrote %d", m, n)
+	}
+	if !back.Equal(p) {
+		t.Error("polynomial corrupted by the round trip")
+	}
+}
+
+func TestPolySerializationPreservesCoeffForm(t *testing.T) {
+	r := testRing(t, 64, 2)
+	src := fixedSource()
+	p := r.NewPoly()
+	r.SampleUniform(src, p)
+	p.IsNTT = false
+
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Poly
+	if _, err := back.ReadFrom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.IsNTT {
+		t.Error("NTT flag corrupted")
+	}
+}
+
+func TestPolyDeserializationRejectsGarbage(t *testing.T) {
+	var p Poly
+	if _, err := p.ReadFrom(strings.NewReader("short")); err == nil {
+		t.Error("expected error on truncated header")
+	}
+	// Wrong version.
+	bad := make([]byte, 64)
+	bad[0] = 42
+	if _, err := p.ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("expected error on bad version")
+	}
+	// Implausible shape (n = 0).
+	bad = make([]byte, 12)
+	bad[0] = polyFormatVersion
+	if _, err := p.ReadFrom(bytes.NewReader(bad)); err == nil {
+		t.Error("expected error on zero-shape header")
+	}
+	// Valid header, truncated body.
+	r := testRing(t, 32, 2)
+	src := fixedSource()
+	good := r.NewPoly()
+	r.SampleUniform(src, good)
+	var buf bytes.Buffer
+	if _, err := good.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadFrom(bytes.NewReader(buf.Bytes()[:buf.Len()-7])); err == nil {
+		t.Error("expected error on truncated body")
+	}
+}
+
+func TestEmptyPolySerialization(t *testing.T) {
+	var p Poly
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err == nil {
+		t.Error("expected error serializing an empty polynomial")
+	}
+}

@@ -1,0 +1,162 @@
+// Package rns implements the residue-number-system basis-change machinery
+// of RNS-CKKS: the fast basis extension of Eq. (1) in the paper (called
+// NewLimb there), ModUp (Algorithm 1), ModDown (Algorithm 2), Rescale (the
+// single-limb specialization of ModDown), and PModUp (Algorithm 5, the
+// free lift b → P·b used by the algorithmic MAD optimizations).
+//
+// These are exactly the operations whose slot-wise data-access pattern
+// forces the orientation switches the paper's memory analysis revolves
+// around: NewLimb needs all limbs of one coefficient, whereas NTT/iNTT
+// need all coefficients of one limb.
+package rns
+
+import (
+	"fmt"
+
+	"repro/internal/mathutil"
+)
+
+// ExtTable holds the precomputations to extend values from an input RNS
+// basis {q_1..q_ℓ} to an output basis {p_1..p_k}: the per-coefficient
+// "NewLimb" operation of Eq. (1), with the floating-point overflow
+// correction of Halevi–Polyakov–Shoup so the conversion is exact (up to a
+// ±1 rounding slack near the wraparound boundary).
+type ExtTable struct {
+	In, Out []uint64
+
+	qiTilde      []uint64   // (Q/q_i)^{-1} mod q_i
+	qiTildeShoup []uint64   // Shoup precomputation of the above
+	qiStar       [][]uint64 // [j][i] = (Q/q_i) mod p_j
+	qModOut      []uint64   // Q mod p_j
+	qiInvFloat   []float64  // 1 / q_i
+	outBarrett   []mathutil.Barrett
+}
+
+// NewExtTable builds the extension table from basis in to basis out.
+// The bases must be disjoint sets of NTT primes.
+func NewExtTable(in, out []uint64) *ExtTable {
+	t := &ExtTable{
+		In:           append([]uint64(nil), in...),
+		Out:          append([]uint64(nil), out...),
+		qiTilde:      make([]uint64, len(in)),
+		qiTildeShoup: make([]uint64, len(in)),
+		qiStar:       make([][]uint64, len(out)),
+		qModOut:      make([]uint64, len(out)),
+		qiInvFloat:   make([]float64, len(in)),
+		outBarrett:   make([]mathutil.Barrett, len(out)),
+	}
+	for i, qi := range in {
+		// (Q/q_i) mod q_i = ∏_{k≠i} q_k mod q_i
+		prod := uint64(1)
+		br := mathutil.NewBarrett(qi)
+		for k, qk := range in {
+			if k != i {
+				prod = br.MulMod(prod, br.Reduce(qk))
+			}
+		}
+		t.qiTilde[i] = mathutil.InvMod(prod, qi)
+		t.qiTildeShoup[i] = mathutil.ShoupPrecomp(t.qiTilde[i], qi)
+		t.qiInvFloat[i] = 1.0 / float64(qi)
+	}
+	for j, pj := range out {
+		br := mathutil.NewBarrett(pj)
+		t.outBarrett[j] = br
+		t.qiStar[j] = make([]uint64, len(in))
+		qMod := uint64(1)
+		for _, qk := range in {
+			qMod = br.MulMod(qMod, br.Reduce(qk))
+		}
+		t.qModOut[j] = qMod
+		for i := range in {
+			prod := uint64(1)
+			for k, qk := range in {
+				if k != i {
+					prod = br.MulMod(prod, br.Reduce(qk))
+				}
+			}
+			t.qiStar[j][i] = prod
+		}
+	}
+	return t
+}
+
+// Extend converts a batch of coefficients from the input basis to the
+// output basis: src[i][c] is coefficient c modulo In[i] and dst[j][c]
+// receives coefficient c modulo Out[j]. All limbs must be in coefficient
+// (non-NTT) representation; basis conversion is meaningless slot-wise.
+//
+// This is the vectorized NewLimb of Eq. (1): for each coefficient it
+// computes y_i = [x]_{q_i}·Q̃_i mod q_i, estimates the overflow
+// v = round(Σ y_i/q_i), and outputs Σ y_i·Q*_i − v·Q (mod p_j).
+func (t *ExtTable) Extend(src, dst [][]uint64) {
+	if len(src) != len(t.In) || len(dst) != len(t.Out) {
+		panic(fmt.Sprintf("rns: Extend got %d input and %d output limbs, want %d and %d",
+			len(src), len(dst), len(t.In), len(t.Out)))
+	}
+	if len(t.In) == 0 {
+		for j := range dst {
+			clear(dst[j])
+		}
+		return
+	}
+	n := len(src[0])
+	y := make([]uint64, len(t.In))
+	for c := 0; c < n; c++ {
+		// Overflow estimate: Σ y_i·(Q/q_i) = x + floor(Σ y_i/q_i)·Q for
+		// x ∈ [0, Q), so flooring the float sum recovers the positive-range
+		// representative exactly (up to float64 slack at the wrap boundary).
+		vFloat := 0.0
+		for i := range t.In {
+			yi := mathutil.MulModShoup(src[i][c], t.qiTilde[i], t.qiTildeShoup[i], t.In[i])
+			y[i] = yi
+			vFloat += float64(yi) * t.qiInvFloat[i]
+		}
+		v := uint64(vFloat)
+		for j := range t.Out {
+			br := t.outBarrett[j]
+			pj := t.Out[j]
+			acc := uint64(0)
+			for i := range t.In {
+				acc = mathutil.AddMod(acc, br.MulMod(y[i], t.qiStar[j][i]), pj)
+			}
+			corr := br.MulMod(v%pj, t.qModOut[j])
+			dst[j][c] = mathutil.SubMod(acc, corr, pj)
+		}
+	}
+}
+
+// ExtendApprox is the uncorrected fast basis conversion: it outputs
+// x + u·Q (mod p_j) for some 0 ≤ u < ℓ instead of exactly x. This is the
+// cheaper variant referenced by Eq. (1) verbatim; key switching tolerates
+// the u·Q slack because it is later scaled away by ModDown.
+func (t *ExtTable) ExtendApprox(src, dst [][]uint64) {
+	if len(src) != len(t.In) || len(dst) != len(t.Out) {
+		panic("rns: ExtendApprox limb count mismatch")
+	}
+	n := len(src[0])
+	y := make([]uint64, len(t.In))
+	for c := 0; c < n; c++ {
+		for i := range t.In {
+			y[i] = mathutil.MulModShoup(src[i][c], t.qiTilde[i], t.qiTildeShoup[i], t.In[i])
+		}
+		for j := range t.Out {
+			br := t.outBarrett[j]
+			pj := t.Out[j]
+			acc := uint64(0)
+			for i := range t.In {
+				acc = mathutil.AddMod(acc, br.MulMod(y[i], t.qiStar[j][i]), pj)
+			}
+			dst[j][c] = acc
+		}
+	}
+}
+
+// ProductMod returns (∏ moduli) mod p.
+func ProductMod(moduli []uint64, p uint64) uint64 {
+	br := mathutil.NewBarrett(p)
+	prod := uint64(1)
+	for _, q := range moduli {
+		prod = br.MulMod(prod, br.Reduce(q))
+	}
+	return prod
+}

@@ -1,0 +1,234 @@
+package rns
+
+import (
+	"fmt"
+
+	"repro/internal/mathutil"
+	"repro/internal/ring"
+)
+
+// PolyQP is a polynomial over the raised basis Q ∪ P: the Q part carries
+// the ciphertext-modulus limbs, the P part the special (raised) limbs that
+// exist only inside key switching. Both parts share one NTT flag
+// discipline: the helpers below keep them in the same representation.
+type PolyQP struct {
+	Q *ring.Poly
+	P *ring.Poly
+}
+
+// CopyNew returns a deep copy.
+func (p PolyQP) CopyNew() PolyQP {
+	return PolyQP{Q: p.Q.CopyNew(), P: p.P.CopyNew()}
+}
+
+// Converter owns the basis-extension tables between a ciphertext modulus
+// chain Q = q_0·…·q_L and the special modulus P = p_0·…·p_{k-1}, and
+// implements the RNS subroutines of the paper's Algorithms 1, 2 and 5.
+type Converter struct {
+	RingQ *ring.Ring
+	RingP *ring.Ring
+
+	tables map[string]*ExtTable
+}
+
+// NewConverter builds a Converter for the given modulus chains. RingP may
+// have any number of limbs ≥ 1.
+func NewConverter(ringQ, ringP *ring.Ring) *Converter {
+	return &Converter{RingQ: ringQ, RingP: ringP, tables: make(map[string]*ExtTable)}
+}
+
+// NewPolyQP allocates a zero raised polynomial at the given Q level.
+func (c *Converter) NewPolyQP(levelQ int) PolyQP {
+	return PolyQP{
+		Q: c.RingQ.AtLevel(levelQ).NewPoly(),
+		P: c.RingP.NewPoly(),
+	}
+}
+
+// table returns (caching) the extension table from the moduli selected by
+// in to those selected by out.
+func (c *Converter) table(in, out []uint64) *ExtTable {
+	key := fmt.Sprint(in, "->", out)
+	if t, ok := c.tables[key]; ok {
+		return t
+	}
+	t := NewExtTable(in, out)
+	c.tables[key] = t
+	return t
+}
+
+// ModUpDigit implements the ModUp of Algorithm 1 for one key-switching
+// digit: the digit comprises limbs [start, end) of aQ (NTT form, level
+// levelQ). The result is the digit's value extended to the full raised
+// basis Q ∪ P, in NTT form. Limbs inside [start, end) are copied verbatim
+// (Algorithm 1 line 4: no NTT needed on the input limbs); limbs outside
+// are produced by iNTT → NewLimb → NTT.
+func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP) {
+	if !aQ.IsNTT {
+		panic("rns: ModUpDigit requires NTT input")
+	}
+	if start < 0 || end <= start || end > levelQ+1 {
+		panic(fmt.Sprintf("rns: digit [%d,%d) out of range for level %d", start, end, levelQ))
+	}
+	n := c.RingQ.N
+	digitModuli := c.RingQ.Moduli[start:end]
+
+	// iNTT the digit limbs into scratch (Algorithm 1 line 1, limb-wise).
+	coeff := make([][]uint64, end-start)
+	for i := start; i < end; i++ {
+		coeff[i-start] = append([]uint64(nil), aQ.Coeffs[i][:n]...)
+		c.RingQ.SubRings[i].INTT(coeff[i-start])
+	}
+
+	// Output moduli: Q limbs outside the digit, then all P limbs.
+	var outModuli []uint64
+	var outSlices [][]uint64
+	for i := 0; i <= levelQ; i++ {
+		if i >= start && i < end {
+			continue
+		}
+		outModuli = append(outModuli, c.RingQ.Moduli[i])
+		outSlices = append(outSlices, out.Q.Coeffs[i][:n])
+	}
+	for j := range c.RingP.Moduli {
+		outModuli = append(outModuli, c.RingP.Moduli[j])
+		outSlices = append(outSlices, out.P.Coeffs[j][:n])
+	}
+
+	// NewLimb (Algorithm 1 line 2, slot-wise).
+	c.table(digitModuli, outModuli).Extend(coeff, outSlices)
+
+	// NTT the generated limbs (Algorithm 1 line 3, limb-wise) and copy the
+	// untouched digit limbs.
+	k := 0
+	for i := 0; i <= levelQ; i++ {
+		if i >= start && i < end {
+			copy(out.Q.Coeffs[i][:n], aQ.Coeffs[i][:n])
+			continue
+		}
+		c.RingQ.SubRings[i].NTT(outSlices[k])
+		k++
+	}
+	for j := range c.RingP.Moduli {
+		c.RingP.SubRings[j].NTT(outSlices[k])
+		k++
+	}
+	out.Q.IsNTT = true
+	out.P.IsNTT = true
+}
+
+// ModDown implements Algorithm 2: given a raised polynomial over Q ∪ P in
+// NTT form, it returns (approximately) P^{-1}·x over Q in NTT form,
+// dropping the P limbs. The division is a flooring division by P of the
+// representative in [0, PQ); the sub-integer error this introduces is the
+// standard key-switching rounding noise.
+func (c *Converter) ModDown(levelQ int, a PolyQP, out *ring.Poly) {
+	if !a.Q.IsNTT || !a.P.IsNTT {
+		panic("rns: ModDown requires NTT input")
+	}
+	n := c.RingQ.N
+	kP := len(c.RingP.Moduli)
+
+	// iNTT the P limbs (Algorithm 2 line 1 restricted to B′; the Q limbs
+	// can stay in evaluation form because the correction limb we build for
+	// each q_i is transformed forward instead).
+	pCoeff := make([][]uint64, kP)
+	for j := 0; j < kP; j++ {
+		pCoeff[j] = append([]uint64(nil), a.P.Coeffs[j][:n]...)
+		c.RingP.SubRings[j].INTT(pCoeff[j])
+	}
+
+	// NewLimb from basis P into each q_i (Algorithm 2 line 3, slot-wise).
+	qModuli := c.RingQ.Moduli[:levelQ+1]
+	hat := make([][]uint64, levelQ+1)
+	for i := range hat {
+		hat[i] = make([]uint64, n)
+	}
+	c.table(c.RingP.Moduli, qModuli).Extend(pCoeff, hat)
+
+	// (x − x̂)·P^{-1} per limb (Algorithm 2 line 4), staying in NTT form by
+	// transforming the correction limb forward (line 5 folded in).
+	for i := 0; i <= levelQ; i++ {
+		s := c.RingQ.SubRings[i]
+		s.NTT(hat[i])
+		pInv := mathutil.InvMod(ProductMod(c.RingP.Moduli, s.Q), s.Q)
+		pInvShoup := mathutil.ShoupPrecomp(pInv, s.Q)
+		ai, oi := a.Q.Coeffs[i], out.Coeffs[i]
+		hi := hat[i]
+		for j := 0; j < n; j++ {
+			oi[j] = mathutil.MulModShoup(mathutil.SubMod(ai[j], hi[j], s.Q), pInv, pInvShoup, s.Q)
+		}
+	}
+	out.Coeffs = out.Coeffs[:levelQ+1]
+	out.IsNTT = true
+}
+
+// Rescale divides a level-levelQ polynomial (NTT form) by its top limb
+// modulus q_ℓ with rounding, producing a level-(levelQ−1) polynomial in
+// NTT form in out. This is the Rescale of Table 2: the ModDown
+// specialization with B′ = {q_ℓ}.
+func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly) {
+	if !a.IsNTT {
+		panic("rns: Rescale requires NTT input")
+	}
+	if levelQ < 1 {
+		panic("rns: cannot rescale below level 0")
+	}
+	n := c.RingQ.N
+	ql := c.RingQ.Moduli[levelQ]
+	half := ql >> 1
+
+	// Bring the dropped limb to coefficient form and pre-add q_ℓ/2 so the
+	// flooring division below rounds to nearest.
+	last := append([]uint64(nil), a.Coeffs[levelQ][:n]...)
+	c.RingQ.SubRings[levelQ].INTT(last)
+	for j := 0; j < n; j++ {
+		last[j] += half
+		if last[j] >= ql {
+			last[j] -= ql
+		}
+	}
+
+	for i := 0; i < levelQ; i++ {
+		s := c.RingQ.SubRings[i]
+		qlInv := mathutil.InvMod(ql%s.Q, s.Q)
+		qlInvShoup := mathutil.ShoupPrecomp(qlInv, s.Q)
+		halfMod := half % s.Q
+
+		// b = (last' − q_ℓ/2) mod q_i, transformed forward.
+		b := make([]uint64, n)
+		for j := 0; j < n; j++ {
+			b[j] = mathutil.SubMod(s.Barrett.Reduce(last[j]), halfMod, s.Q)
+		}
+		s.NTT(b)
+
+		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		for j := 0; j < n; j++ {
+			oi[j] = mathutil.MulModShoup(mathutil.SubMod(ai[j], b[j], s.Q), qlInv, qlInvShoup, s.Q)
+		}
+	}
+	out.Coeffs = out.Coeffs[:levelQ]
+	out.IsNTT = true
+}
+
+// PModUp implements Algorithm 5: it lifts b ∈ R_Q to P·b ∈ R_{PQ} with
+// only one scalar multiplication per coefficient and zero P limbs — no
+// basis conversion and no NTTs. This is the cheap lift that lets linear
+// functions run in the raised basis (the paper's §3.2).
+func (c *Converter) PModUp(levelQ int, a *ring.Poly, out PolyQP) {
+	n := c.RingQ.N
+	for i := 0; i <= levelQ; i++ {
+		s := c.RingQ.SubRings[i]
+		pMod := ProductMod(c.RingP.Moduli, s.Q)
+		pShoup := mathutil.ShoupPrecomp(pMod, s.Q)
+		ai, oi := a.Coeffs[i], out.Q.Coeffs[i]
+		for j := 0; j < n; j++ {
+			oi[j] = mathutil.MulModShoup(ai[j], pMod, pShoup, s.Q)
+		}
+	}
+	for j := range c.RingP.Moduli {
+		clear(out.P.Coeffs[j][:n])
+	}
+	out.Q.IsNTT = a.IsNTT
+	out.P.IsNTT = a.IsNTT
+}

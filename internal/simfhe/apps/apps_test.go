@@ -1,0 +1,110 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/simfhe"
+	"repro/internal/simfhe/design"
+)
+
+// TestHELRBootstrapCadence verifies the paper's statement (§4.3): with
+// the optimal parameter set, HELR bootstraps after every three training
+// iterations.
+func TestHELRBootstrapCadence(t *testing.T) {
+	w := HELR()
+	r := Run(w, design.GPU.WithMemory(32), simfhe.Optimal(), simfhe.AllOpts())
+	// 30 iterations at 3 per bootstrap, first budget granted up front:
+	// bootstraps at iterations 3,6,…,27 → 9 explicit bootstraps.
+	perBoot := 19 / w.LevelsUsed // = 3 with 19 post-bootstrap levels
+	if perBoot != 3 {
+		t.Fatalf("iterations per bootstrap = %d, paper says 3", perBoot)
+	}
+	wantBoots := (w.Units - perBoot + perBoot - 1) / perBoot
+	if r.Bootstraps != wantBoots {
+		t.Errorf("bootstraps = %d, want %d", r.Bootstraps, wantBoots)
+	}
+}
+
+// TestFigure6GPUShape: the headline Figure 6(a) claims — MAD on the GPU
+// design cuts LR training substantially, and more cache helps (3.5× at
+// 6 MB, up to 17× at 32 MB against the published time).
+func TestFigure6GPUShape(t *testing.T) {
+	pts := Figure6LR()["GPU [20]"]
+	if len(pts) != 4 { // published, modeled, +MAD-6, +MAD-32
+		t.Fatalf("got %d points, want 4", len(pts))
+	}
+	published, modeled, mad6, mad32 := pts[0], pts[1], pts[2], pts[3]
+	if !published.Published || modeled.Published {
+		t.Error("point labeling broken")
+	}
+	if mad32.RuntimeS > mad6.RuntimeS {
+		t.Errorf("more cache slowed MAD down: 6MB %.2fs vs 32MB %.2fs", mad6.RuntimeS, mad32.RuntimeS)
+	}
+	speedup := modeled.RuntimeS / mad32.RuntimeS
+	if speedup < 2 {
+		t.Errorf("GPU+MAD-32 speedup %.1fx over modeled original; paper reports 17x over published", speedup)
+	}
+}
+
+// TestFigure6ARKShape: Figure 6(e) — applying MAD (with its small cache)
+// to ARK makes LR training slower than the original, because ARK was
+// already balanced with its 512 MB memory.
+func TestFigure6ARKShape(t *testing.T) {
+	pts := Figure6LR()["ARK [24]"]
+	published := pts[0]
+	var mad32 Figure6Point
+	for _, p := range pts {
+		if p.Label == "ARK [24]@32MB+MAD" {
+			mad32 = p
+		}
+	}
+	if mad32.Label == "" {
+		t.Fatal("missing ARK 32MB point")
+	}
+	if mad32.RuntimeS <= published.RuntimeS {
+		t.Errorf("ARK+MAD-32 (%.3fs) should be slower than published ARK (%.3fs)", mad32.RuntimeS, published.RuntimeS)
+	}
+}
+
+func TestRunChargesBootstraps(t *testing.T) {
+	w := Workload{Name: "toy", Mults: 1, LevelsUsed: 5, Units: 10}
+	r := Run(w, design.BTS.WithMemory(32), simfhe.Optimal(), simfhe.AllOpts())
+	if r.Bootstraps == 0 {
+		t.Error("a 50-level workload on a 19-level budget must bootstrap")
+	}
+	if r.Cost.Ops() == 0 || r.RuntimeS <= 0 {
+		t.Error("degenerate run result")
+	}
+}
+
+func TestWorkloadDefinitions(t *testing.T) {
+	h := HELR()
+	if h.Units != 30 || h.LevelsUsed != 6 {
+		t.Errorf("HELR schedule changed: %+v", h)
+	}
+	rn := ResNet20()
+	if rn.Units != 20 {
+		t.Errorf("ResNet-20 should have 20 layers: %+v", rn)
+	}
+	if rn.Rotates < h.Rotates {
+		t.Error("a conv layer should rotate more than an LR iteration")
+	}
+}
+
+func TestFigure6Completeness(t *testing.T) {
+	lr := Figure6LR()
+	for _, name := range []string{"GPU [20]", "F1 [30]", "CraterLake [31]", "BTS [25]", "ARK [24]"} {
+		if len(lr[name]) < 3 {
+			t.Errorf("LR sub-figure %s has %d points", name, len(lr[name]))
+		}
+	}
+	rn := Figure6ResNet()
+	for _, name := range []string{"CraterLake [31]", "BTS [25]", "ARK [24]"} {
+		if len(rn[name]) < 3 {
+			t.Errorf("ResNet sub-figure %s has %d points", name, len(rn[name]))
+		}
+	}
+	if _, ok := rn["GPU [20]"]; ok {
+		t.Error("the paper has no GPU ResNet sub-figure")
+	}
+}

@@ -1,0 +1,165 @@
+package simfhe
+
+// Bootstrap cost model: Algorithm 4 composed from the primitive models,
+// with the level schedule tracked explicitly so each operation is charged
+// at the limb count it actually sees, and so the post-bootstrap modulus
+// log Q₁ (the Table 6 throughput numerator) falls out of the schedule.
+
+// BootstrapBreakdown reports the per-phase costs and the level schedule.
+type BootstrapBreakdown struct {
+	ModRaise    Cost
+	CoeffToSlot Cost
+	EvalMod     Cost
+	SlotToCoeff Cost
+
+	LevelsConsumed int
+	LimbsAfter     int // limbs remaining after bootstrapping
+	LogQ1          int // log2 of the output coefficient modulus
+}
+
+// Total returns the summed cost of all phases.
+func (b BootstrapBreakdown) Total() Cost {
+	return b.ModRaise.Plus(b.CoeffToSlot).Plus(b.EvalMod).Plus(b.SlotToCoeff)
+}
+
+// chebMults returns the ciphertext–ciphertext multiplication count and
+// level depth of the baby-step/giant-step Chebyshev evaluation used by
+// EvalMod (mirroring internal/bootstrap's EvalChebyshev).
+func chebMults(degree int) (mults, depth int) {
+	if degree <= 0 {
+		return 0, 0
+	}
+	m := 1
+	for m*m < degree+1 {
+		m <<= 1
+	}
+	// Power ladder: T_2 … T_{m-1} plus the giants T_m, T_{2m}, …
+	mults = m - 2
+	if m >= 2 {
+		mults++ // T_m
+	}
+	powDepth := 0
+	{
+		dep := map[int]int{1: 0}
+		for k := 2; k <= m; k++ {
+			a, b := (k+1)/2, k/2
+			dep[k] = max(dep[a], dep[b]) + 1
+			powDepth = max(powDepth, dep[k])
+		}
+		for g := m; 2*g <= degree; g *= 2 {
+			dep[2*g] = dep[g] + 1
+			powDepth = max(powDepth, dep[2*g])
+			mults++
+		}
+	}
+	// Recursion internal nodes: ≈ one multiplication per leaf beyond the
+	// first.
+	leaves := (degree + m) / m
+	mults += leaves - 1
+	depth = powDepth + recursionDepth(degree, m)
+	return mults, depth
+}
+
+func recursionDepth(degree, m int) int {
+	if degree < m {
+		return 1
+	}
+	g := m
+	for 2*g <= degree {
+		g *= 2
+	}
+	return max(1+recursionDepth(degree-g, m), recursionDepth(g-1, m))
+}
+
+// EvalModDepth returns the levels consumed by the approximate modular
+// reduction (Chebyshev + double-angle).
+func (p Params) EvalModDepth() int {
+	_, d := chebMults(p.SineDegree)
+	return d + p.DoubleAngle
+}
+
+// BootstrapDepth returns the total levels a bootstrap consumes after the
+// raise: fftIter per homomorphic DFT plus the EvalMod depth.
+func (p Params) BootstrapDepth() int {
+	return 2*p.FFTIter + p.EvalModDepth()
+}
+
+// Bootstrap composes the full Algorithm 4 at the context's parameters and
+// returns the per-phase breakdown.
+func (c Ctx) Bootstrap() BootstrapBreakdown {
+	p := c.P
+	var bd BootstrapBreakdown
+	l := p.L
+
+	// --- ModRaise: extend both halves from the exhausted 2-limb basis to
+	// the full chain (one basis extension per half).
+	{
+		in := 2
+		kOut := l - in
+		raise := p.nttLimb().Times(in).
+			Plus(p.newLimbCost(in, kOut)).
+			Plus(p.nttLimb().Times(kOut)).
+			Plus(switches(1))
+		raise = raise.Plus(p.readCt(in)).Plus(p.writeCt(l))
+		if !c.Opts.CacheAlpha {
+			raise = raise.Plus(p.writeCt(in)).Plus(p.readCt(in)).
+				Plus(p.writeCt(kOut)).Plus(p.readCt(kOut))
+		}
+		bd.ModRaise = raise.Times(2)
+	}
+
+	// --- SubSum (sparse packing only): fold the N/2-coefficient raise
+	// into the 2^LogSlots slots with logN−1−logSlots rotations and adds,
+	// so the DFTs below run over the smaller slot count (§4.3).
+	if r := p.SubSumRotations(); r > 0 {
+		sub := c.Rotate(l).Plus(c.Add(l)).Times(r)
+		bd.ModRaise = bd.ModRaise.Plus(sub)
+	}
+
+	diags := p.DFTDiagonals()
+
+	// --- CoeffToSlot: fftIter matrix products, one level each, then the
+	// conjugate split (one Conjugate, two adds, one free multiply-by-i).
+	for _, d := range diags {
+		bd.CoeffToSlot = bd.CoeffToSlot.Plus(c.PtMatVecMult(l, d))
+		l--
+	}
+	split := c.Conjugate(l).
+		Plus(c.Add(l).Times(2)).
+		Plus(p.pointwise(2*l, 1, 0)) // multiply by the X^{N/2} monomial
+	bd.CoeffToSlot = bd.CoeffToSlot.Plus(split)
+
+	// --- EvalMod on the two coefficient halves.
+	{
+		mults, depth := chebMults(p.SineDegree)
+		mults += p.DoubleAngle
+		depth += p.DoubleAngle
+		// Charge the multiplications across the descending level span.
+		var em Cost
+		for i := 0; i < mults; i++ {
+			lv := l - (i*depth)/mults // descend roughly uniformly
+			if lv < 1 {
+				lv = 1
+			}
+			em = em.Plus(c.Mult(lv))
+		}
+		// Leaf scalar multiplications and constant adds (≈ one per
+		// polynomial coefficient).
+		em = em.Plus(p.pointwise(2*l, 1, 1).Times(p.SineDegree))
+		bd.EvalMod = em.Times(2) // both halves
+		l -= depth
+	}
+	// Recombine: one free multiply-by-i plus one add.
+	bd.EvalMod = bd.EvalMod.Plus(p.pointwise(2*l, 1, 0)).Plus(c.Add(l))
+
+	// --- SlotToCoeff: fftIter more matrix products.
+	for _, d := range diags {
+		bd.SlotToCoeff = bd.SlotToCoeff.Plus(c.PtMatVecMult(l, d))
+		l--
+	}
+
+	bd.LimbsAfter = l
+	bd.LevelsConsumed = p.L - l
+	bd.LogQ1 = p.LogQ * l
+	return bd
+}

@@ -1,0 +1,110 @@
+package simfhe
+
+// CacheConfig describes the on-chip memory available to the accelerator.
+// The simulator is platform-agnostic (§3): "cache" means any on-chip
+// memory, whether a GPU's shared memory + L2, an FPGA's BRAM, or an
+// ASIC's scratchpad.
+type CacheConfig struct {
+	Bytes uint64
+}
+
+// MB constructs a CacheConfig of the given mebibyte count.
+func MB(mb int) CacheConfig { return CacheConfig{Bytes: uint64(mb) << 20} }
+
+// Limbs returns how many ciphertext limbs of the given parameter set fit
+// on chip.
+func (c CacheConfig) Limbs(p Params) int {
+	return int(c.Bytes / p.LimbBytes())
+}
+
+// OptSet toggles the seven MAD techniques of §3 individually, mirroring
+// SimFHE's modular implementation ("allowing us to toggle between each
+// optimization independently so as to isolate the benefit of each").
+type OptSet struct {
+	// Caching optimizations (§3.1) — reduce DRAM transfers only; the
+	// operation count is unchanged.
+	CacheO1     bool // fuse limb-wise sub-operation chains (O(1) limbs)
+	CacheBeta   bool // keep one limb of each of the β digits resident (O(β) limbs)
+	CacheAlpha  bool // generate basis-change limbs entirely in cache (O(α) limbs)
+	LimbReorder bool // compute the α to-be-dropped limbs first
+
+	// Algorithmic optimizations (§3.2) — reduce orientation switches and
+	// NTT work, hence both compute and DRAM traffic.
+	ModDownMerge   bool // single ModDown for KeySwitch+Rescale in Mult
+	ModDownHoist   bool // one ModDown pair per PtMatVecMult
+	KeyCompression bool // regenerate the uniform key half from a PRNG seed
+}
+
+// NoOpts is the unoptimized baseline (Jung et al. [20] schedule).
+func NoOpts() OptSet { return OptSet{} }
+
+// CachingOpts enables the four §3.1 caching optimizations.
+func CachingOpts() OptSet {
+	return OptSet{CacheO1: true, CacheBeta: true, CacheAlpha: true, LimbReorder: true}
+}
+
+// AllOpts enables every MAD technique.
+func AllOpts() OptSet {
+	o := CachingOpts()
+	o.ModDownMerge = true
+	o.ModDownHoist = true
+	o.KeyCompression = true
+	return o
+}
+
+// minCacheLimbs returns the on-chip capacity each optimization needs, in
+// limbs (§3.1: O(1) needs ~1 limb ≈ 1 MB; O(β) needs ~2β limbs ≈ 6 MB;
+// O(α) needs 2α+3 limbs ≈ 27 MB for the baseline parameters).
+func (p Params) minCacheLimbs(opt string) int {
+	switch opt {
+	case "o1":
+		return 1
+	case "beta":
+		return 2 * p.Dnum
+	case "alpha", "reorder":
+		return 2*p.Alpha() + 3
+	default:
+		return 0
+	}
+}
+
+// Effective filters the requested optimizations down to those the
+// configured cache can actually support — the paper's "for a large enough
+// on-chip memory, SimFHE will automatically deploy the applicable
+// optimization", applied in reverse: requested optimizations that do not
+// fit are dropped.
+func (o OptSet) Effective(p Params, cache CacheConfig) OptSet {
+	limbs := cache.Limbs(p)
+	eff := o
+	if limbs < p.minCacheLimbs("o1") {
+		eff.CacheO1 = false
+	}
+	if limbs < p.minCacheLimbs("beta") {
+		eff.CacheBeta = false
+	}
+	if limbs < p.minCacheLimbs("alpha") {
+		eff.CacheAlpha = false
+	}
+	if limbs < p.minCacheLimbs("reorder") || !eff.CacheAlpha {
+		// Limb re-ordering builds on the O(α) working set (§3.1).
+		eff.LimbReorder = false
+	}
+	// ModDown merging and hoisting operate on raised-basis accumulators;
+	// they need the same O(α) working set to avoid round trips, but they
+	// remain *correct* (and still save NTTs) with less memory, so they are
+	// kept regardless — matching the paper, which reports their compute
+	// savings independent of cache size.
+	return eff
+}
+
+// Ctx bundles everything a cost model needs.
+type Ctx struct {
+	P     Params
+	Cache CacheConfig
+	Opts  OptSet // effective optimizations (already filtered)
+}
+
+// NewCtx builds a context, filtering the optimizations by cache capacity.
+func NewCtx(p Params, cache CacheConfig, opts OptSet) Ctx {
+	return Ctx{P: p, Cache: cache, Opts: opts.Effective(p, cache)}
+}

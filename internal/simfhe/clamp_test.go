@@ -1,0 +1,24 @@
+package simfhe
+
+import "testing"
+
+// TestBootstrapShortChain: a chain too short for the EvalMod depth should
+// still produce a finite (if useless) cost — the level floor clamps at 1 —
+// and the schedule must report the deficit via LimbsAfter ≤ 0 so callers
+// (the search, the apps) can reject the configuration.
+func TestBootstrapShortChain(t *testing.T) {
+	p := Baseline()
+	p.L = 10 // depth is 15: 5 levels short
+	bd := NewCtx(p, MB(32), AllOpts()).Bootstrap()
+	if bd.LimbsAfter > 0 {
+		t.Errorf("short chain reported %d usable limbs", bd.LimbsAfter)
+	}
+	total := bd.Total()
+	if total.Ops() == 0 || total.Bytes() == 0 {
+		t.Error("cost should still be finite and positive")
+	}
+	const insane = uint64(1) << 60
+	if total.CtRead > insane || total.CtWrite > insane {
+		t.Error("short-chain bootstrap underflowed traffic counters")
+	}
+}

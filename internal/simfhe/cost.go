@@ -1,0 +1,78 @@
+package simfhe
+
+import "fmt"
+
+// Cost tallies the compute operations and DRAM transfers of a (sequence
+// of) homomorphic operations — the two quantities SimFHE tracks.
+type Cost struct {
+	// Compute, in modular-arithmetic operations.
+	MulMod uint64
+	AddMod uint64
+	NTT    uint64 // number of limb-sized (i)NTTs, informational (their
+	// mul/add counts are already included above)
+
+	// DRAM transfers in bytes, by data kind.
+	CtRead  uint64 // ciphertext / working-limb reads
+	CtWrite uint64 // ciphertext / working-limb writes
+	KeyRead uint64 // switching-key reads
+	PtRead  uint64 // plaintext (encoded matrix diagonal) reads
+
+	// OrientationSwitches counts transitions between limb-wise and
+	// slot-wise access patterns (Table 3) — the quantity the MAD
+	// algorithmic optimizations minimize.
+	OrientationSwitches uint64
+}
+
+// Ops returns the total modular-operation count.
+func (c Cost) Ops() uint64 { return c.MulMod + c.AddMod }
+
+// Bytes returns the total DRAM traffic.
+func (c Cost) Bytes() uint64 { return c.CtRead + c.CtWrite + c.KeyRead + c.PtRead }
+
+// AI returns the arithmetic intensity in operations per byte — the
+// roofline x-axis of the paper's analysis (Table 4, §2.3).
+func (c Cost) AI() float64 {
+	if c.Bytes() == 0 {
+		return 0
+	}
+	return float64(c.Ops()) / float64(c.Bytes())
+}
+
+// Plus returns the element-wise sum of two costs.
+func (c Cost) Plus(o Cost) Cost {
+	return Cost{
+		MulMod:              c.MulMod + o.MulMod,
+		AddMod:              c.AddMod + o.AddMod,
+		NTT:                 c.NTT + o.NTT,
+		CtRead:              c.CtRead + o.CtRead,
+		CtWrite:             c.CtWrite + o.CtWrite,
+		KeyRead:             c.KeyRead + o.KeyRead,
+		PtRead:              c.PtRead + o.PtRead,
+		OrientationSwitches: c.OrientationSwitches + o.OrientationSwitches,
+	}
+}
+
+// Times returns the cost repeated n times.
+func (c Cost) Times(n int) Cost {
+	u := uint64(n)
+	return Cost{
+		MulMod:              c.MulMod * u,
+		AddMod:              c.AddMod * u,
+		NTT:                 c.NTT * u,
+		CtRead:              c.CtRead * u,
+		CtWrite:             c.CtWrite * u,
+		KeyRead:             c.KeyRead * u,
+		PtRead:              c.PtRead * u,
+		OrientationSwitches: c.OrientationSwitches * u,
+	}
+}
+
+// GOps returns total compute in units of 10^9 operations (Table 4 rows).
+func (c Cost) GOps() float64 { return float64(c.Ops()) / 1e9 }
+
+// GB returns total DRAM traffic in units of 10^9 bytes (Table 4 rows).
+func (c Cost) GB() float64 { return float64(c.Bytes()) / 1e9 }
+
+func (c Cost) String() string {
+	return fmt.Sprintf("Cost{%.4f Gops, %.4f GB, AI=%.2f}", c.GOps(), c.GB(), c.AI())
+}

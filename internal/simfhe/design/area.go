@@ -1,0 +1,92 @@
+package design
+
+import "repro/internal/simfhe"
+
+// §4.4 of the paper argues the cost angle: large on-chip memories (256 to
+// 512 MB) dominate the chip area of prior accelerators, and since die
+// cost scales with area, MAD's 16× memory reduction "proportionally
+// reduces the cost of the solution". This file gives that argument a
+// quantitative model: SRAM and logic area estimates in a 7 nm-class node,
+// and the derived area- and cost-normalized throughput metrics.
+
+// AreaModel holds the silicon area coefficients.
+type AreaModel struct {
+	// SRAMmm2PerMB is the macro density of on-chip SRAM. 7 nm-class
+	// SRAM lands near 0.35–0.45 mm²/MB including peripherals; BTS/ARK
+	// report >200 mm² for their 512 MB, consistent with ≈0.4.
+	SRAMmm2PerMB float64
+	// Mm2PerKMultiplier is the logic area of 1024 modular multipliers
+	// with their share of NTT routing, in mm².
+	Mm2PerKMultiplier float64
+	// BaselineMm2 covers everything else (NoC, PHYs, control).
+	BaselineMm2 float64
+}
+
+// DefaultAreaModel returns coefficients calibrated so the prior designs'
+// reported die sizes are reproduced to first order (CraterLake ≈ 472 mm²,
+// BTS ≈ 373 mm², both dominated by their SRAM).
+func DefaultAreaModel() AreaModel {
+	return AreaModel{
+		SRAMmm2PerMB:      0.40,
+		Mm2PerKMultiplier: 7.0,
+		BaselineMm2:       40,
+	}
+}
+
+// ChipMm2 estimates the die area of a design point.
+func (a AreaModel) ChipMm2(d Design) float64 {
+	return a.BaselineMm2 +
+		a.SRAMmm2PerMB*float64(d.OnChipMB) +
+		a.Mm2PerKMultiplier*float64(d.Multipliers)/1024
+}
+
+// MemoryFraction reports how much of the die the on-chip memory occupies —
+// the quantity MAD attacks.
+func (a AreaModel) MemoryFraction(d Design) float64 {
+	return a.SRAMmm2PerMB * float64(d.OnChipMB) / a.ChipMm2(d)
+}
+
+// CostReduction returns the die-cost ratio of shrinking a design's
+// on-chip memory (cost taken proportional to area, the paper's
+// assumption; real yield effects make the true ratio even larger).
+func (a AreaModel) CostReduction(d Design, newMB int) float64 {
+	return a.ChipMm2(d) / a.ChipMm2(d.WithMemory(newMB))
+}
+
+// TradeoffPoint is one row of the §4.4 analysis: a design at a memory
+// size, its modeled bootstrap performance, and its area efficiency.
+type TradeoffPoint struct {
+	Design        Design
+	Params        simfhe.Params
+	Opts          simfhe.OptSet
+	RuntimeMs     float64
+	Throughput    float64
+	AreaMm2       float64
+	TputPerMm2    float64
+	MemoryFrac    float64
+	CostVsDefault float64 // chip cost relative to the design's original memory
+}
+
+// Tradeoff evaluates the design across memory sizes with all MAD
+// optimizations, producing the §4.4 performance-vs-area/cost curve.
+func Tradeoff(a AreaModel, d Design, memorySizesMB []int, p simfhe.Params) []TradeoffPoint {
+	baseArea := a.ChipMm2(d)
+	out := make([]TradeoffPoint, 0, len(memorySizesMB))
+	for _, mb := range memorySizesMB {
+		dd := d.WithMemory(mb)
+		res := RunBootstrap(dd, p, simfhe.AllOpts())
+		area := a.ChipMm2(dd)
+		out = append(out, TradeoffPoint{
+			Design:        dd,
+			Params:        p,
+			Opts:          simfhe.AllOpts(),
+			RuntimeMs:     res.RuntimeMs,
+			Throughput:    res.Throughput,
+			AreaMm2:       area,
+			TputPerMm2:    res.Throughput / area,
+			MemoryFrac:    a.MemoryFraction(dd),
+			CostVsDefault: area / baseArea,
+		})
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package design
+
+import (
+	"testing"
+
+	"repro/internal/simfhe"
+)
+
+func TestAreaModelCalibration(t *testing.T) {
+	a := DefaultAreaModel()
+	// The 512 MB ASICs must be SRAM-dominated (the §4.4 premise).
+	for _, d := range []Design{BTS, ARK} {
+		if frac := a.MemoryFraction(d); frac < 0.5 {
+			t.Errorf("%s: memory fraction %.2f, expected > 0.5 for a 512 MB design", d.Name, frac)
+		}
+	}
+	// The 6 MB GPU is logic-dominated.
+	if frac := a.MemoryFraction(GPU); frac > 0.2 {
+		t.Errorf("GPU memory fraction %.2f, expected small", frac)
+	}
+	// Die sizes land in the hundreds of mm² for the big ASICs.
+	for _, d := range []Design{BTS, ARK, CraterLake} {
+		mm2 := a.ChipMm2(d)
+		if mm2 < 150 || mm2 > 700 {
+			t.Errorf("%s: %.0f mm² outside the plausible band", d.Name, mm2)
+		}
+	}
+}
+
+// TestCostReduction16x: the paper's headline — shrinking a 512 MB design
+// to 32 MB (a 16× memory reduction) cuts the memory's area contribution
+// 16×, and the chip cost substantially.
+func TestCostReduction16x(t *testing.T) {
+	a := DefaultAreaModel()
+	for _, d := range []Design{BTS, ARK} {
+		ratio := a.CostReduction(d, 32)
+		if ratio < 1.5 {
+			t.Errorf("%s: 512→32 MB cost reduction only %.2fx", d.Name, ratio)
+		}
+		// Memory area itself shrinks exactly 16×.
+		memBefore := a.SRAMmm2PerMB * float64(d.OnChipMB)
+		memAfter := a.SRAMmm2PerMB * 32
+		if memBefore/memAfter != 16 {
+			t.Errorf("%s: memory-area ratio %.1f, want 16", d.Name, memBefore/memAfter)
+		}
+	}
+}
+
+// TestTradeoffCurve: across memory sizes, area rises monotonically and
+// the MAD-augmented design's throughput per mm² peaks at a small memory —
+// the "win-win" §4.4 describes for the memory-bound designs.
+func TestTradeoffCurve(t *testing.T) {
+	a := DefaultAreaModel()
+	sizes := []int{32, 64, 128, 256, 512}
+	pts := Tradeoff(a, BTS, sizes, simfhe.Optimal())
+	if len(pts) != len(sizes) {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AreaMm2 <= pts[i-1].AreaMm2 {
+			t.Error("area must grow with memory")
+		}
+		if pts[i].Throughput < pts[i-1].Throughput {
+			t.Error("more cache must never reduce modeled throughput")
+		}
+	}
+	// Area efficiency at 32–64 MB beats 512 MB: the optimizations have
+	// flattened the benefit of huge memories.
+	small := pts[0].TputPerMm2
+	big := pts[len(pts)-1].TputPerMm2
+	if small <= big {
+		t.Errorf("throughput/mm² at 32 MB (%.2f) should beat 512 MB (%.2f)", small, big)
+	}
+	// Cost column is relative to the original 512 MB configuration.
+	if pts[0].CostVsDefault >= 1 || pts[len(pts)-1].CostVsDefault != 1 {
+		t.Errorf("cost normalization broken: %v, %v", pts[0].CostVsDefault, pts[len(pts)-1].CostVsDefault)
+	}
+}

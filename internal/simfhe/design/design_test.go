@@ -1,0 +1,144 @@
+package design
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simfhe"
+)
+
+func within(got, want, tol float64) bool {
+	return math.Abs(got/want-1) <= tol
+}
+
+// TestPublishedThroughputs checks Eq. 3 against the throughput column of
+// Table 6 for every original design.
+func TestPublishedThroughputs(t *testing.T) {
+	want := map[string]float64{
+		"GPU [20]":        409,
+		"F1 [30]":         1.5,
+		"BTS [25]":        2667,
+		"ARK [24]":        6896,
+		"CraterLake [31]": 10465,
+	}
+	for _, d := range All() {
+		got := d.PublishedThroughput()
+		if !within(got, want[d.Name], 0.05) {
+			t.Errorf("%s: throughput %.1f, Table 6 says %.1f", d.Name, got, want[d.Name])
+		}
+	}
+}
+
+// TestTable6Shape checks the comparison's qualitative outcomes: MAD beats
+// the memory-bound designs (GPU, F1) and loses to the big-cache ASICs
+// (BTS, ARK, CraterLake), as §4.2 reports.
+func TestTable6Shape(t *testing.T) {
+	rows := Table6()
+	if len(rows) != 5 {
+		t.Fatalf("got %d rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Original.Name {
+		case "GPU [20]", "F1 [30]":
+			if r.Normalized >= 1 {
+				t.Errorf("%s: normalized %.3f, paper has MAD winning (<1)", r.Original.Name, r.Normalized)
+			}
+		case "BTS [25]", "ARK [24]", "CraterLake [31]":
+			if r.Normalized <= 1 {
+				t.Errorf("%s: normalized %.3f, paper has the original winning (>1)", r.Original.Name, r.Normalized)
+			}
+		}
+		if r.MAD.LogQ1 <= 0 || r.MAD.RuntimeMs <= 0 {
+			t.Errorf("%s: degenerate MAD result %+v", r.Original.Name, r.MAD)
+		}
+	}
+}
+
+// TestTable6FactorsRoughly checks the normalized-throughput column within
+// a generous factor band: the reconstruction should land within ~3× of
+// each Table 6 value.
+func TestTable6FactorsRoughly(t *testing.T) {
+	paper := map[string]float64{
+		"GPU [20]":        0.1361,
+		"F1 [30]":         0.0005,
+		"BTS [25]":        1.7178,
+		"ARK [24]":        2.1326,
+		"CraterLake [31]": 4.6248,
+	}
+	for _, r := range Table6() {
+		want := paper[r.Original.Name]
+		ratio := r.Normalized / want
+		if ratio < 1.0/3 || ratio > 3 {
+			t.Errorf("%s: normalized %.4f vs paper %.4f (off by %.1fx)",
+				r.Original.Name, r.Normalized, want, ratio)
+		}
+	}
+}
+
+func TestRooflineModel(t *testing.T) {
+	d := Design{Name: "test", Multipliers: 1000, BandwidthGBps: 100, FreqGHz: 1, OnChipMB: 32}
+	// Pure compute: 10^12 muls on 1000 multipliers at 1 GHz = 1 s.
+	c := simfhe.Cost{MulMod: 1e12}
+	if got := d.ComputeSeconds(c); !within(got, 1.0, 1e-9) {
+		t.Errorf("compute time %v, want 1s", got)
+	}
+	// Adds count quarter-weight.
+	c2 := simfhe.Cost{AddMod: 4e12}
+	if got := d.ComputeSeconds(c2); !within(got, 1.0, 1e-9) {
+		t.Errorf("add-only compute time %v, want 1s", got)
+	}
+	// Pure memory: 10^11 bytes at 100 GB/s = 1 s.
+	m := simfhe.Cost{CtRead: 1e11}
+	if got := d.MemorySeconds(m); !within(got, 1.0, 1e-9) {
+		t.Errorf("memory time %v, want 1s", got)
+	}
+	// Roofline takes the max.
+	both := simfhe.Cost{MulMod: 1e12, CtRead: 5e11}
+	if got := d.RuntimeSeconds(both); !within(got, 5.0, 1e-9) {
+		t.Errorf("roofline %v, want 5s (memory-bound)", got)
+	}
+	if d.ComputeBound(both) {
+		t.Error("should be memory-bound")
+	}
+	if !d.ComputeBound(c) {
+		t.Error("pure compute should be compute-bound")
+	}
+}
+
+func TestThroughputUnits(t *testing.T) {
+	// GPU row: 2^16 slots, logQ1 1080, 19 bits, 328.7 ms → 409.
+	got := Throughput(1<<16, 1080, 19, 0.3287)
+	if !within(got, 409, 0.01) {
+		t.Errorf("throughput %.1f, want 409", got)
+	}
+}
+
+func TestWithMemory(t *testing.T) {
+	d := GPU.WithMemory(32)
+	if d.OnChipMB != 32 {
+		t.Errorf("OnChipMB = %d", d.OnChipMB)
+	}
+	if GPU.OnChipMB != 6 {
+		t.Error("WithMemory mutated the original")
+	}
+}
+
+// TestMADRuntimeInRange sanity-checks the absolute MAD bootstrap runtime
+// per design against Table 6 within a generous band (the model's DRAM is
+// heavier than the paper's; see EXPERIMENTS.md).
+func TestMADRuntimeInRange(t *testing.T) {
+	paper := map[string]float64{
+		"GPU [20]":        39.35,
+		"F1 [30]":         40.6,
+		"BTS [25]":        76.2,
+		"ARK [24]":        36.58,
+		"CraterLake [31]": 52.2,
+	}
+	for _, d := range All() {
+		r := RunBootstrap(d.WithMemory(32), simfhe.Optimal(), simfhe.AllOpts())
+		want := paper[d.Name]
+		if r.RuntimeMs < want/4 || r.RuntimeMs > want*4 {
+			t.Errorf("%s: MAD bootstrap %.1f ms, paper %.1f ms (outside 4x band)", d.Name, r.RuntimeMs, want)
+		}
+	}
+}

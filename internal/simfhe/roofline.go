@@ -1,0 +1,64 @@
+package simfhe
+
+// Roofline analysis: the paper's low-arithmetic-intensity argument (§2.3)
+// is a roofline argument — with AI < 1 op/byte, any platform whose
+// ops/byte ratio ("ridge point") exceeds the workload's AI runs it
+// memory-bound. This file computes the roofline coordinates for costs and
+// machines so the Table 4 analysis can be rendered quantitatively.
+
+// Machine is the minimal roofline description of a compute platform.
+type Machine struct {
+	PeakOpsPerSec   float64 // modular-multiplier ops/s (multipliers × freq)
+	PeakBytesPerSec float64 // DRAM bandwidth
+}
+
+// RidgeAI returns the machine's ridge point: the arithmetic intensity at
+// which it transitions from memory- to compute-bound.
+func (m Machine) RidgeAI() float64 {
+	if m.PeakBytesPerSec == 0 {
+		return 0
+	}
+	return m.PeakOpsPerSec / m.PeakBytesPerSec
+}
+
+// AttainableOpsPerSec returns the roofline-attainable throughput for a
+// workload of the given arithmetic intensity: min(peak, AI·bandwidth).
+func (m Machine) AttainableOpsPerSec(ai float64) float64 {
+	bw := ai * m.PeakBytesPerSec
+	if bw < m.PeakOpsPerSec {
+		return bw
+	}
+	return m.PeakOpsPerSec
+}
+
+// MemoryBound reports whether a cost with the given AI is memory-bound on
+// the machine.
+func (m Machine) MemoryBound(c Cost) bool {
+	return c.AI() < m.RidgeAI()
+}
+
+// RooflinePoint places one named cost on the roofline.
+type RooflinePoint struct {
+	Name        string
+	AI          float64
+	Attainable  float64 // ops/s the machine can sustain for this AI
+	Utilization float64 // attainable / peak
+	MemoryBound bool
+}
+
+// Roofline evaluates named costs against a machine.
+func Roofline(m Machine, named map[string]Cost) []RooflinePoint {
+	out := make([]RooflinePoint, 0, len(named))
+	for name, c := range named {
+		ai := c.AI()
+		att := m.AttainableOpsPerSec(ai)
+		out = append(out, RooflinePoint{
+			Name:        name,
+			AI:          ai,
+			Attainable:  att,
+			Utilization: att / m.PeakOpsPerSec,
+			MemoryBound: m.MemoryBound(c),
+		})
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package simfhe
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMachineRidge(t *testing.T) {
+	// 10 Tops/s over 1 TB/s → ridge at 10 ops/byte.
+	m := Machine{PeakOpsPerSec: 10e12, PeakBytesPerSec: 1e12}
+	if got := m.RidgeAI(); got != 10 {
+		t.Errorf("ridge = %v, want 10", got)
+	}
+	// Below the ridge, attainable = AI·BW.
+	if got := m.AttainableOpsPerSec(0.5); got != 0.5e12 {
+		t.Errorf("attainable(0.5) = %v", got)
+	}
+	// Above the ridge, attainable = peak.
+	if got := m.AttainableOpsPerSec(100); got != 10e12 {
+		t.Errorf("attainable(100) = %v", got)
+	}
+}
+
+// TestTable4AllMemoryBound: the §2.3 conclusion rendered as a roofline —
+// on every platform with ≥ 1 op/byte ridge, every Table 2 primitive runs
+// memory-bound with a minimal cache.
+func TestTable4AllMemoryBound(t *testing.T) {
+	ctx := NewCtx(Baseline(), MB(2), NoOpts())
+	l := ctx.P.L
+	// A typical accelerator: 8192 multipliers @1 GHz over 1 TB/s → ridge ≈ 8.
+	m := Machine{PeakOpsPerSec: 8192e9, PeakBytesPerSec: 1e12}
+	costs := map[string]Cost{
+		"Add": ctx.Add(l), "PtMult": ctx.PtMult(l), "Mult": ctx.Mult(l),
+		"Rotate": ctx.Rotate(l), "Bootstrap": ctx.Bootstrap().Total(),
+	}
+	for _, pt := range Roofline(m, costs) {
+		if !pt.MemoryBound {
+			t.Errorf("%s: not memory-bound at AI %.2f (ridge %.2f)", pt.Name, pt.AI, m.RidgeAI())
+		}
+		if pt.Utilization > 0.3 {
+			t.Errorf("%s: utilization %.2f suspiciously high for a memory-bound op", pt.Name, pt.Utilization)
+		}
+		if pt.Attainable <= 0 || math.IsNaN(pt.Attainable) {
+			t.Errorf("%s: degenerate attainable %v", pt.Name, pt.Attainable)
+		}
+	}
+}
+
+// TestMADRaisesUtilization: applying the MAD stack must raise the
+// roofline utilization of bootstrapping.
+func TestMADRaisesUtilization(t *testing.T) {
+	m := Machine{PeakOpsPerSec: 8192e9, PeakBytesPerSec: 1e12}
+	before := NewCtx(Baseline(), MB(2), NoOpts()).Bootstrap().Total()
+	after := NewCtx(Optimal(), MB(64), AllOpts()).Bootstrap().Total()
+	ub := m.AttainableOpsPerSec(before.AI()) / m.PeakOpsPerSec
+	ua := m.AttainableOpsPerSec(after.AI()) / m.PeakOpsPerSec
+	if ua <= ub {
+		t.Errorf("MAD did not raise utilization: %.3f -> %.3f", ub, ua)
+	}
+}

@@ -1,0 +1,90 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/simfhe"
+	"repro/internal/simfhe/design"
+)
+
+func TestSearchFindsFeasiblePoints(t *testing.T) {
+	// A narrowed space keeps the test fast.
+	space := Space{LogQMin: 45, LogQMax: 55, DnumMax: 4, FFTIters: []int{3, 4, 5, 6}}
+	cands := Run(space, ReferenceDesign(), simfhe.AllOpts())
+	if len(cands) == 0 {
+		t.Fatal("no candidates found")
+	}
+	// Sorted by descending throughput.
+	for i := 1; i < len(cands); i++ {
+		if cands[i].Throughput > cands[i-1].Throughput {
+			t.Fatal("candidates not sorted by throughput")
+		}
+	}
+	// Every candidate is secure and leaves usable levels.
+	for _, c := range cands {
+		if !c.Params.IsSecure() {
+			t.Errorf("insecure candidate %v", c.Params)
+		}
+		if c.LogQ1 < c.Params.LogQ*6 {
+			t.Errorf("candidate %v leaves too few levels (logQ1=%d)", c.Params, c.LogQ1)
+		}
+	}
+}
+
+// TestSearchBeatsBaselineParams: the whole point of Table 5 — the found
+// optimum must out-throughput the GPU baseline parameter set on the same
+// 32 MB system.
+func TestSearchBeatsBaselineParams(t *testing.T) {
+	space := Space{LogQMin: 45, LogQMax: 58, DnumMax: 4, FFTIters: []int{3, 4, 5, 6}}
+	best, ok := Best(space, ReferenceDesign(), simfhe.AllOpts())
+	if !ok {
+		t.Fatal("search found nothing")
+	}
+	baseline := design.RunBootstrap(ReferenceDesign(), simfhe.Baseline(), simfhe.AllOpts())
+	if best.Throughput <= baseline.Throughput {
+		t.Errorf("search optimum (%.0f) does not beat baseline parameters (%.0f)",
+			best.Throughput, baseline.Throughput)
+	}
+	// The paper's qualitative findings: the optimum prefers a longer
+	// chain than the baseline (more levels per bootstrap) and a moderate
+	// digit count whose O(α) working set fits the 32 MB budget.
+	if best.Params.L <= simfhe.Baseline().L {
+		t.Errorf("optimum L = %d not above baseline %d", best.Params.L, simfhe.Baseline().L)
+	}
+	alphaLimbs := 2*best.Params.Alpha() + 3
+	if alphaLimbs > 32 {
+		t.Errorf("optimum α = %d needs %d limbs of cache, beyond the 32 MB budget",
+			best.Params.Alpha(), alphaLimbs)
+	}
+}
+
+// TestPaperOptimalIsCompetitive: the paper's Table 5 "Ours" row must land
+// within 2.5× of our search optimum on the same system (its dnum = 2
+// working set exceeds 32 MB under this model's strict capacity filter,
+// so it cannot use the O(α) optimization — see EXPERIMENTS.md).
+func TestPaperOptimalIsCompetitive(t *testing.T) {
+	space := Space{LogQMin: 45, LogQMax: 58, DnumMax: 4, FFTIters: []int{3, 4, 5, 6}}
+	best, _ := Best(space, ReferenceDesign(), simfhe.AllOpts())
+	paper := design.RunBootstrap(ReferenceDesign(), simfhe.Optimal(), simfhe.AllOpts())
+	if ratio := best.Throughput / paper.Throughput; ratio > 2.5 {
+		t.Errorf("paper parameters %.1fx below our optimum; expected within 2.5x", ratio)
+	}
+}
+
+func TestSpaceDefaults(t *testing.T) {
+	s := Space{}.withDefaults()
+	if s.LogN != 17 || s.LogQMin != 30 || s.LogQMax != 58 || s.DnumMax != 6 {
+		t.Errorf("unexpected defaults: %+v", s)
+	}
+	if len(s.FFTIters) != 8 || s.MinLimbsAfter != 6 {
+		t.Errorf("unexpected defaults: %+v", s)
+	}
+}
+
+func TestBestEmptySpace(t *testing.T) {
+	// An impossible space: huge limbs at tiny LogN leave no secure chain.
+	space := Space{LogN: 13, LogQMin: 55, LogQMax: 58, DnumMax: 2, FFTIters: []int{3}}
+	if _, ok := Best(space, ReferenceDesign(), simfhe.AllOpts()); ok {
+		t.Error("expected no feasible candidates")
+	}
+}

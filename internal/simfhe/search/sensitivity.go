@@ -1,0 +1,72 @@
+package search
+
+import (
+	"repro/internal/simfhe"
+	"repro/internal/simfhe/design"
+)
+
+// Sensitivity analysis: §4.1 motivates SimFHE with "it was not clear how
+// changing a specific CKKS algorithm parameter or system constraint such
+// as on-chip memory size would affect the overall bootstrapping
+// performance. With SimFHE, these questions can be immediately answered."
+// This file answers them: one-dimensional sweeps around a base point.
+
+// Axis names a parameter dimension to sweep.
+type Axis string
+
+const (
+	AxisLogQ    Axis = "logq"
+	AxisL       Axis = "L"
+	AxisDnum    Axis = "dnum"
+	AxisFFTIter Axis = "fftiter"
+	AxisCacheMB Axis = "cache"
+)
+
+// SweepPoint is one evaluated point of a sensitivity sweep.
+type SweepPoint struct {
+	Value      int // the swept parameter's value
+	Params     simfhe.Params
+	CacheMB    int
+	Feasible   bool // secure + valid + leaves usable levels
+	Throughput float64
+	RuntimeMs  float64
+	LogQ1      int
+}
+
+// Sweep varies one axis across values, holding everything else at the
+// base point, and evaluates each resulting configuration on the design
+// with the given optimizations. Infeasible points are reported with
+// Feasible = false so the frontier's edges are visible.
+func Sweep(axis Axis, values []int, base simfhe.Params, d design.Design, opts simfhe.OptSet) []SweepPoint {
+	out := make([]SweepPoint, 0, len(values))
+	for _, v := range values {
+		p := base
+		cacheMB := d.OnChipMB
+		switch axis {
+		case AxisLogQ:
+			p.LogQ = v
+		case AxisL:
+			p.L = v
+		case AxisDnum:
+			p.Dnum = v
+		case AxisFFTIter:
+			p.FFTIter = v
+		case AxisCacheMB:
+			cacheMB = v
+		default:
+			panic("search: unknown sweep axis " + string(axis))
+		}
+		pt := SweepPoint{Value: v, Params: p, CacheMB: cacheMB}
+		if p.Validate() != nil || !p.IsSecure() || p.L-p.BootstrapDepth() < 1 {
+			out = append(out, pt)
+			continue
+		}
+		res := design.RunBootstrap(d.WithMemory(cacheMB), p, opts)
+		pt.Feasible = true
+		pt.Throughput = res.Throughput
+		pt.RuntimeMs = res.RuntimeMs
+		pt.LogQ1 = res.LogQ1
+		out = append(out, pt)
+	}
+	return out
+}

@@ -1,0 +1,77 @@
+package search
+
+import (
+	"testing"
+
+	"repro/internal/simfhe"
+)
+
+func TestSweepFFTIter(t *testing.T) {
+	pts := Sweep(AxisFFTIter, []int{1, 2, 3, 4, 5, 6, 7, 8}, simfhe.Optimal(), ReferenceDesign(), simfhe.AllOpts())
+	if len(pts) != 8 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	feasible := 0
+	for _, pt := range pts {
+		if pt.Feasible {
+			feasible++
+			if pt.Throughput <= 0 {
+				t.Errorf("fftIter=%d: feasible but zero throughput", pt.Value)
+			}
+		}
+	}
+	if feasible < 4 {
+		t.Errorf("only %d/8 fftIter values feasible", feasible)
+	}
+	// More FFT iterations leave fewer levels: logQ1 decreases.
+	var prev int
+	for _, pt := range pts {
+		if !pt.Feasible {
+			continue
+		}
+		if prev != 0 && pt.LogQ1 >= prev {
+			t.Errorf("logQ1 did not decrease with fftIter: %d then %d", prev, pt.LogQ1)
+		}
+		prev = pt.LogQ1
+	}
+}
+
+func TestSweepCache(t *testing.T) {
+	sizes := []int{1, 2, 6, 16, 27, 32, 64, 128}
+	pts := Sweep(AxisCacheMB, sizes, simfhe.Baseline(), ReferenceDesign(), simfhe.CachingOpts())
+	var prevRt float64
+	for i, pt := range pts {
+		if !pt.Feasible {
+			t.Fatalf("cache sweep point %d infeasible", i)
+		}
+		if prevRt != 0 && pt.RuntimeMs > prevRt+1e-9 {
+			t.Errorf("more cache slowed bootstrapping: %d MB %.2fms after %.2fms", pt.Value, pt.RuntimeMs, prevRt)
+		}
+		prevRt = pt.RuntimeMs
+	}
+	// The paper's claim: beyond the full working set, extra memory stops
+	// helping — the last two points are identical.
+	if pts[len(pts)-1].RuntimeMs != pts[len(pts)-2].RuntimeMs {
+		t.Error("runtime still changing beyond the full working set")
+	}
+}
+
+func TestSweepInfeasibleEdges(t *testing.T) {
+	// Sweeping L upward must hit the security wall.
+	pts := Sweep(AxisL, []int{20, 40, 60, 80, 200}, simfhe.Optimal(), ReferenceDesign(), simfhe.AllOpts())
+	if pts[len(pts)-1].Feasible {
+		t.Error("L = 200 at q = 50 cannot be 128-bit secure at N = 2^17")
+	}
+	if !pts[1].Feasible {
+		t.Error("the paper's own L = 40 must be feasible")
+	}
+}
+
+func TestSweepUnknownAxisPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for unknown axis")
+		}
+	}()
+	Sweep(Axis("bogus"), []int{1}, simfhe.Optimal(), ReferenceDesign(), simfhe.AllOpts())
+}
