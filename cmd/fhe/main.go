@@ -11,6 +11,12 @@
 //	fhe rotate  -dir keys -out rot.bin -by 3 a.bin
 //	fhe decrypt -dir keys [-slots 8] ct.bin
 //	fhe info    ct.bin
+//
+// A leading -debug-addr ADDR serves net/http/pprof under /debug/pprof
+// and the evaluator's ckks.* counters under /metrics (Prometheus text)
+// for the duration of the command:
+//
+//	fhe -debug-addr localhost:6060 mul -dir keys -out prod.bin a.bin b.bin
 package main
 
 import (

@@ -15,7 +15,17 @@
 //	simfhe json              every experiment as a machine-readable report
 //	simfhe run <file>        run a schedule DSL file through the model
 //	                         (one op per line: mult x5 / rotate x16 / …)
+//	simfhe trace             per-sub-op cost attribution trees, exportable
+//	                         as a Chrome trace / Prometheus metrics
 //	simfhe all               everything above in sequence
+//
+// The run, boot and trace subcommands accept -trace-out FILE (Chrome
+// trace_event JSON, loadable in chrome://tracing or Perfetto) and
+// -metrics-out FILE (Prometheus text format). A leading -debug-addr
+// ADDR serves /debug/pprof and /metrics over HTTP while the command
+// runs:
+//
+//	simfhe -debug-addr localhost:6060 run sched.txt
 package main
 
 import (
@@ -24,20 +34,50 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/simfhe"
 	"repro/internal/simfhe/apps"
 	"repro/internal/simfhe/design"
 	"repro/internal/simfhe/search"
 )
 
+// debugRec backs the /metrics endpoint when -debug-addr is set; the
+// subcommands mirror their exported counters into it.
+var debugRec *obs.Recorder
+
 func main() {
-	if len(os.Args) < 2 {
+	global := flag.NewFlagSet("simfhe", flag.ExitOnError)
+	debugAddr := global.String("debug-addr", "",
+		"serve /debug/pprof and /metrics on this address (e.g. localhost:6060) while the command runs")
+	global.Usage = func() { usage(); global.PrintDefaults() }
+	global.Parse(os.Args[1:])
+	rest := global.Args()
+	if len(rest) < 1 {
 		usage()
 		os.Exit(2)
 	}
-	cmd, args := os.Args[1], os.Args[2:]
+	if *debugAddr != "" {
+		debugRec = obs.NewRecorder()
+		addr, err := obs.StartDebugServer(*debugAddr, debugRec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simfhe:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and http://%s/metrics\n", addr, addr)
+	}
+	cmd, args := rest[0], rest[1:]
+	run(cmd, args)
+	if *debugAddr != "" {
+		fmt.Fprintln(os.Stderr, "command done; still serving -debug-addr endpoints (interrupt to exit)")
+		select {}
+	}
+}
+
+func run(cmd string, args []string) {
 	switch cmd {
 	case "table4":
 		table4()
@@ -57,6 +97,8 @@ func main() {
 		costTradeoff()
 	case "run":
 		runSchedule(args)
+	case "trace":
+		traceCmd(args)
 	case "sweep":
 		sweep(args)
 	case "ai":
@@ -82,7 +124,102 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: simfhe {table4|fig2|fig3|table5|table6|fig6|boot|cost|run|sweep|ai|json|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: simfhe [-debug-addr ADDR] {table4|fig2|fig3|table5|table6|fig6|boot|cost|run|trace|sweep|ai|json|all} [flags]")
+	fmt.Fprintln(os.Stderr, "  run/boot/trace accept -trace-out FILE (Chrome trace JSON) and -metrics-out FILE (Prometheus text)")
+}
+
+// refMachine is the paper's 32 MB reference system (8192 modular
+// multipliers at 1 GHz, 1 TB/s of DRAM bandwidth) — the roofline used to
+// lay modeled costs out on a synthetic timeline.
+var refMachine = simfhe.Machine{PeakOpsPerSec: 8192e9, PeakBytesPerSec: 1e12}
+
+// parseOpts maps the shared -opts flag value.
+func parseOpts(name string) simfhe.OptSet {
+	switch name {
+	case "none":
+		return simfhe.NoOpts()
+	case "caching":
+		return simfhe.CachingOpts()
+	case "all":
+		return simfhe.AllOpts()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -opts:", name)
+		os.Exit(2)
+		return simfhe.OptSet{}
+	}
+}
+
+// parseParams maps the shared -params flag value.
+func parseParams(name string) simfhe.Params {
+	switch name {
+	case "baseline":
+		return simfhe.Baseline()
+	case "optimal":
+		return simfhe.Optimal()
+	default:
+		fmt.Fprintln(os.Stderr, "unknown -params:", name)
+		os.Exit(2)
+		return simfhe.Params{}
+	}
+}
+
+// traceBuilder lays several attribution trees out sequentially on one
+// synthetic timeline, keeping span IDs globally unique.
+type traceBuilder struct {
+	m      simfhe.Machine
+	spans  []obs.SpanRecord
+	cursor time.Duration
+	idOff  uint64
+}
+
+func (b *traceBuilder) add(t *simfhe.CostTree) {
+	sp := t.SpanRecords(b.m, b.cursor)
+	for i := range sp {
+		sp[i].ID += b.idOff
+		if sp[i].Parent != 0 {
+			sp[i].Parent += b.idOff
+		}
+	}
+	b.idOff += uint64(len(sp))
+	if len(sp) > 0 {
+		b.cursor = sp[0].Start + sp[0].Dur
+	}
+	b.spans = append(b.spans, sp...)
+}
+
+// exportObs writes the trace and/or metrics files (empty paths skip) and
+// mirrors the counters into the -debug-addr recorder when one is live.
+func exportObs(traceOut, metricsOut string, spans []obs.SpanRecord, counters map[string]uint64) {
+	snap := obs.Snapshot{Spans: spans, Counters: counters}
+	write := func(path, what string, fn func(io.Writer) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s to %s\n", what, path)
+	}
+	if traceOut != "" {
+		write(traceOut, "Chrome trace", snap.WriteChromeTrace)
+	}
+	if metricsOut != "" {
+		write(metricsOut, "Prometheus metrics", snap.WritePrometheus)
+	}
+	for name, v := range counters {
+		debugRec.Add(name, v) // nil-safe no-op without -debug-addr
+	}
+}
+
+// mergeMetrics accumulates a cost's counters into dst under the prefix.
+func mergeMetrics(dst map[string]uint64, prefix string, c simfhe.Cost) {
+	for k, v := range c.MetricsSnapshot(prefix) {
+		dst[k] += v
+	}
 }
 
 func table4() {
@@ -202,35 +339,17 @@ func boot(args []string) {
 	mb := fs.Int("mb", 32, "on-chip memory in MB")
 	paramsName := fs.String("params", "optimal", "baseline | optimal")
 	logSlots := fs.Int("slots", 0, "log2 of sparse slot count (0 = fully packed)")
+	traceOut := fs.String("trace-out", "", "write the bootstrap attribution as Chrome trace JSON")
+	metricsOut := fs.String("metrics-out", "", "write the bootstrap cost as Prometheus text metrics")
 	fs.Parse(args)
 
-	var p simfhe.Params
-	switch *paramsName {
-	case "baseline":
-		p = simfhe.Baseline()
-	case "optimal":
-		p = simfhe.Optimal()
-	default:
-		fmt.Fprintln(os.Stderr, "unknown -params:", *paramsName)
-		os.Exit(2)
-	}
+	p := parseParams(*paramsName)
 	p.LogSlots = *logSlots
 	if err := p.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	var opts simfhe.OptSet
-	switch *optsName {
-	case "none":
-		opts = simfhe.NoOpts()
-	case "caching":
-		opts = simfhe.CachingOpts()
-	case "all":
-		opts = simfhe.AllOpts()
-	default:
-		fmt.Fprintln(os.Stderr, "unknown -opts:", *optsName)
-		os.Exit(2)
-	}
+	opts := parseOpts(*optsName)
 
 	ctx := simfhe.NewCtx(p, simfhe.MB(*mb), opts)
 	bd := ctx.Bootstrap()
@@ -250,6 +369,14 @@ func boot(args []string) {
 			ph.name, ph.c.GOps(), ph.c.GB(), ph.c.AI(), ph.c.OrientationSwitches)
 	}
 	fmt.Printf("levels consumed %d, limbs after %d, logQ1 %d\n\n", bd.LevelsConsumed, bd.LimbsAfter, bd.LogQ1)
+
+	if *traceOut != "" || *metricsOut != "" || debugRec != nil {
+		tb := &traceBuilder{m: refMachine}
+		tb.add(ctx.BootstrapTree())
+		metrics := map[string]uint64{}
+		mergeMetrics(metrics, "simfhe_bootstrap", bd.Total())
+		exportObs(*traceOut, *metricsOut, tb.spans, metrics)
+	}
 }
 
 func costTradeoff() {
@@ -265,10 +392,22 @@ func costTradeoff() {
 	fmt.Println()
 }
 
+// demoSchedule stands in when `simfhe run` has neither a file argument
+// nor piped stdin, so the trace/metrics exporters are one command away.
+const demoSchedule = `name: demo
+mult x2
+rotate x4
+rescale
+ptmult x2
+add x4
+`
+
 func runSchedule(args []string) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	optsName := fs.String("opts", "all", "none | caching | all")
 	mb := fs.Int("mb", 32, "on-chip memory in MB")
+	traceOut := fs.String("trace-out", "", "write the per-step attribution as Chrome trace JSON")
+	metricsOut := fs.String("metrics-out", "", "write the schedule totals as Prometheus text metrics")
 	fs.Parse(args)
 	var in io.Reader = os.Stdin
 	if fs.NArg() > 0 {
@@ -279,19 +418,18 @@ func runSchedule(args []string) {
 		}
 		defer f.Close()
 		in = f
+	} else if st, err := os.Stdin.Stat(); err == nil && st.Mode()&os.ModeCharDevice != 0 {
+		// Interactive terminal (or /dev/null) and no file: don't block on
+		// stdin, run the built-in demo schedule instead.
+		fmt.Fprintln(os.Stderr, "no schedule file and no piped stdin; running the built-in demo schedule")
+		in = strings.NewReader(demoSchedule)
 	}
 	sched, err := simfhe.ParseSchedule(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	opts := simfhe.AllOpts()
-	switch *optsName {
-	case "none":
-		opts = simfhe.NoOpts()
-	case "caching":
-		opts = simfhe.CachingOpts()
-	}
+	opts := parseOpts(*optsName)
 	ctx := simfhe.NewCtx(simfhe.Optimal(), simfhe.MB(*mb), opts)
 	res, err := ctx.RunSchedule(sched)
 	if err != nil {
@@ -310,6 +448,89 @@ func runSchedule(args []string) {
 		rt := d.WithMemory(*mb).RuntimeSeconds(res.Total)
 		fmt.Printf("   on %-18s %10.3f s\n", d.Name, rt)
 	}
+
+	if *traceOut != "" || *metricsOut != "" || debugRec != nil {
+		spans, metrics := scheduleTrace(ctx, res)
+		mergeMetrics(metrics, "simfhe_total", res.Total)
+		exportObs(*traceOut, *metricsOut, spans, metrics)
+	}
+}
+
+// scheduleTrace replays a schedule result step by step, attaching one
+// attribution tree per executed op (and per auto-inserted bootstrap) to a
+// synthetic roofline timeline. The replay mirrors RunSchedule's level
+// tracking, and cross-checks it against the recorded per-step limb counts.
+func scheduleTrace(ctx simfhe.Ctx, res simfhe.ScheduleResult) ([]obs.SpanRecord, map[string]uint64) {
+	startLevel := ctx.Bootstrap().LimbsAfter
+	level := startLevel
+	tb := &traceBuilder{m: refMachine}
+	metrics := map[string]uint64{}
+	for _, sc := range res.PerStep {
+		kind := sc.Step.Kind
+		if kind == simfhe.OpBootstrap {
+			tb.add(ctx.BootstrapTree())
+			metrics["simfhe_ops_bootstrap"]++
+			level = startLevel
+			continue
+		}
+		if level-kind.LevelCost() < 1 {
+			// RunSchedule inserted a bootstrap before this step.
+			tb.add(ctx.BootstrapTree())
+			metrics["simfhe_ops_bootstrap"]++
+			level = startLevel
+		}
+		tb.add(ctx.OpTree(kind, level))
+		metrics["simfhe_ops_"+kind.String()]++
+		level -= kind.LevelCost()
+		if level != sc.Limbs {
+			fmt.Fprintf(os.Stderr, "warning: trace replay at level %d but schedule recorded %d\n", level, sc.Limbs)
+			level = sc.Limbs
+		}
+	}
+	return tb.spans, metrics
+}
+
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	optsName := fs.String("opts", "all", "none | caching | all")
+	mb := fs.Int("mb", 32, "on-chip memory in MB")
+	paramsName := fs.String("params", "optimal", "baseline | optimal")
+	opName := fs.String("op", "all", "mult | rotate | keyswitch | ptmult | bootstrap | all")
+	traceOut := fs.String("trace-out", "", "write the attribution as Chrome trace JSON")
+	metricsOut := fs.String("metrics-out", "", "write the costs as Prometheus text metrics")
+	fs.Parse(args)
+
+	p := parseParams(*paramsName)
+	ctx := simfhe.NewCtx(p, simfhe.MB(*mb), parseOpts(*optsName))
+	l := p.L
+	builders := map[string]func() *simfhe.CostTree{
+		"mult":      func() *simfhe.CostTree { return ctx.MultTree(l) },
+		"rotate":    func() *simfhe.CostTree { return ctx.RotateTree(l) },
+		"keyswitch": func() *simfhe.CostTree { return ctx.KeySwitchTree(l) },
+		"ptmult":    func() *simfhe.CostTree { return ctx.PtMultTree(l) },
+		"bootstrap": func() *simfhe.CostTree { return ctx.BootstrapTree() },
+	}
+	var names []string
+	if *opName == "all" {
+		names = []string{"mult", "rotate", "keyswitch", "ptmult", "bootstrap"}
+	} else if _, ok := builders[*opName]; ok {
+		names = []string{*opName}
+	} else {
+		fmt.Fprintln(os.Stderr, "unknown -op:", *opName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("== Cost attribution trees: %v, %d MB cache, opts=%s ==\n", p, *mb, *optsName)
+	tb := &traceBuilder{m: refMachine}
+	metrics := map[string]uint64{}
+	for _, name := range names {
+		t := builders[name]()
+		t.Render(os.Stdout)
+		fmt.Println()
+		tb.add(t)
+		mergeMetrics(metrics, "simfhe_"+name, t.Total())
+	}
+	exportObs(*traceOut, *metricsOut, tb.spans, metrics)
 }
 
 func sweep(args []string) {

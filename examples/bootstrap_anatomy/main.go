@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bootstrap"
 	"repro/internal/ckks"
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/simfhe"
 )
@@ -59,9 +60,28 @@ func functional() {
 	ct = btp.Evaluator().DropLevel(ct, 0)
 	fmt.Printf("input: level %d (exhausted)\n", ct.Level)
 
+	// Record the bootstrap: the recorder captures one span per phase,
+	// each carrying the deltas of the evaluator's ckks.* counters.
+	rec := obs.NewRecorder()
+	btp.SetRecorder(rec)
 	start = time.Now()
 	out := btp.Bootstrap(ct)
 	fmt.Printf("bootstrap: %v -> level %d\n", time.Since(start), out.Level)
+
+	snap := rec.Snapshot()
+	fmt.Printf("\n%-24s %12s %8s %8s %10s %8s\n", "phase", "wall time", "% total", "NTTs", "keyswitch", "rotates")
+	total := snap.SpansNamed("bootstrap.Bootstrap")[0]
+	for _, name := range []string{
+		"bootstrap.ModRaise", "bootstrap.CoeffToSlot", "bootstrap.EvalMod", "bootstrap.SlotToCoeff",
+	} {
+		sp := snap.SpansNamed(name)[0]
+		fmt.Printf("%-24s %12v %7.1f%% %8d %10d %8d\n",
+			name, sp.Dur.Round(time.Millisecond), 100*float64(sp.Dur)/float64(total.Dur),
+			sp.Counters["ckks.ntt"], sp.Counters["ckks.keyswitch"], sp.Counters["ckks.rotate"])
+	}
+	fmt.Printf("%-24s %12v %7.1f%% %8d %10d %8d\n",
+		"total", total.Dur.Round(time.Millisecond), 100.0,
+		total.Counters["ckks.ntt"], total.Counters["ckks.keyswitch"], total.Counters["ckks.rotate"])
 
 	got := enc.Decode(dec.DecryptToPlaintext(out))
 	worst := 0.0

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/ckks"
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
 
@@ -125,6 +126,12 @@ func NewBootstrapper(params *ckks.Parameters, bparams Parameters, sk *ckks.Secre
 // key, which makes it convenient for tests and examples).
 func (b *Bootstrapper) Evaluator() *ckks.Evaluator { return b.ev }
 
+// SetRecorder attaches an observability recorder to the bootstrapper's
+// evaluator; Bootstrap then emits one span per phase (bootstrap.ModRaise,
+// bootstrap.CoeffToSlot, bootstrap.EvalMod, bootstrap.SlotToCoeff), each
+// carrying the ckks.* counter deltas accumulated inside the phase.
+func (b *Bootstrapper) SetRecorder(r *obs.Recorder) { b.ev.SetRecorder(r) }
+
 // modRaise reinterprets a level-0 ciphertext in the full modulus chain:
 // each coefficient v ∈ [0, q_0) is lifted centered to every limb. The
 // underlying plaintext becomes Δ·m + q_0·k for a small integer polynomial
@@ -184,28 +191,39 @@ func (b *Bootstrapper) evalMod(ct *ckks.Ciphertext) *ckks.Ciphertext {
 // and imaginary coefficient halves, SlotToCoeff (Algorithm 4).
 func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 	ev := b.ev
+	rec := ev.Recorder()
+	root := rec.StartSpan("bootstrap.Bootstrap")
+	defer root.End()
 	if ct.Level > 0 {
 		ct = ev.DropLevel(ct, 0)
 	}
 
+	sp := rec.StartSpan("bootstrap.ModRaise")
 	raised := b.modRaise(ct)
+	sp.End()
 
 	// CoeffToSlot: slots now hold (t_j + i·t_{j+n})/(2n·…) in bit-reversed
 	// order, with the EvalMod normalization folded in.
+	sp = rec.StartSpan("bootstrap.CoeffToSlot")
 	w := b.cts.apply(ev, raised, b.bparams.HoistedModDown)
 
 	// Conjugate split into the two real coefficient halves.
 	wc := ev.Conjugate(w)
 	ctReal := ev.Add(w, wc)
 	ctImag := ev.MulByMinusI(ev.Sub(w, wc))
+	sp.End()
 
 	// Approximate modular reduction on each half.
+	sp = rec.StartSpan("bootstrap.EvalMod")
 	ctReal = b.evalMod(ctReal)
 	ctImag = b.evalMod(ctImag)
+	sp.End()
 
 	// Recombine and return to the coefficient domain.
+	sp = rec.StartSpan("bootstrap.SlotToCoeff")
 	recombined := ev.Add(ctReal, ev.MulByI(ctImag))
 	out := b.stc.apply(ev, recombined, b.bparams.HoistedModDown)
+	sp.End()
 
 	// The slots now read the original message directly: every
 	// normalization constant was folded into the DFT matrices, so the

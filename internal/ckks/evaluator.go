@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/mathutil"
+	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/rns"
 )
@@ -18,6 +19,14 @@ type Evaluator struct {
 	params *Parameters
 	keys   *EvaluationKeySet
 	iMono  map[int]*ring.Poly // cached NTT(X^{N/2}) per level (see MulByI)
+
+	// rec, when non-nil, receives a span per primitive ("ckks.Mult",
+	// "ckks.KeySwitch", "ckks.Rescale", …) and the counters "ckks.ntt"
+	// (limb-sized (i)NTT invocations, counted analytically at the
+	// converter call sites), "ckks.keyswitch", "ckks.mult", "ckks.rotate",
+	// "ckks.rescale" and "ckks.limbs". A nil recorder costs one nil check
+	// per call.
+	rec *obs.Recorder
 }
 
 // NewEvaluator returns an evaluator with the given keys. The key set (or
@@ -32,6 +41,16 @@ func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
 
 // Params returns the evaluator's parameter set.
 func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+// SetRecorder attaches an observability recorder (nil detaches it).
+func (ev *Evaluator) SetRecorder(r *obs.Recorder) { ev.rec = r }
+
+// Recorder returns the attached recorder, which may be nil.
+func (ev *Evaluator) Recorder() *obs.Recorder { return ev.rec }
+
+// kP returns the number of special (P-basis) limbs, which every raised
+// polynomial carries and the analytic NTT accounting needs.
+func (ev *Evaluator) kP() int { return len(ev.params.RingP().Moduli) }
 
 func minLevel(ct0, ct1 *Ciphertext) int {
 	if ct0.Level < ct1.Level {
@@ -178,6 +197,13 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 	if level == 0 {
 		panic("ckks: cannot rescale a level-0 ciphertext")
 	}
+	sp := ev.rec.StartSpan("ckks.Rescale")
+	defer sp.End()
+	// Per poly: one iNTT of the dropped limb, one forward NTT per
+	// remaining limb (rns.Converter.Rescale).
+	ev.rec.Add("ckks.ntt", uint64(2*(1+level)))
+	ev.rec.Add("ckks.rescale", 1)
+	ev.rec.Add("ckks.limbs", uint64(level+1))
 	conv := ev.params.Converter()
 	rQ := ev.params.RingQ().AtLevel(level - 1)
 	out := &Ciphertext{
@@ -237,6 +263,9 @@ func (ev *Evaluator) decomposeModUp(level int, x *ring.Poly) []rns.PolyQP {
 		digits[j] = conv.NewPolyQP(level)
 		conv.ModUpDigit(level, start, end, x, digits[j])
 	}
+	// Per digit: iNTT of the digit limbs plus a forward NTT of every
+	// generated limb — together exactly level+1+kP transforms.
+	ev.rec.Add("ckks.ntt", uint64(beta*(level+1+ev.kP())))
 	return digits
 }
 
@@ -275,6 +304,12 @@ func (ev *Evaluator) keySwitchRaised(level int, x *ring.Poly, swk *SwitchingKey)
 
 // keySwitchDown applies the two ModDowns of Algorithm 3 line 4.
 func (ev *Evaluator) keySwitchDown(level int, u, v rns.PolyQP) (p0, p1 *ring.Poly) {
+	// Per ModDown: kP iNTTs of the P limbs plus level+1 forward NTTs of
+	// the correction limbs. Every key switch funnels through here, so the
+	// keyswitch counter lives here too.
+	ev.rec.Add("ckks.ntt", uint64(2*(ev.kP()+level+1)))
+	ev.rec.Add("ckks.keyswitch", 1)
+	ev.rec.Add("ckks.limbs", uint64(level+1))
 	conv := ev.params.Converter()
 	rQ := ev.params.RingQ().AtLevel(level)
 	p0, p1 = rQ.NewPoly(), rQ.NewPoly()
@@ -285,6 +320,8 @@ func (ev *Evaluator) keySwitchDown(level int, u, v rns.PolyQP) (p0, p1 *ring.Pol
 
 // KeySwitch computes ⟦x·w⟧ under the target key (full Algorithm 3).
 func (ev *Evaluator) KeySwitch(level int, x *ring.Poly, swk *SwitchingKey) (p0, p1 *ring.Poly) {
+	sp := ev.rec.StartSpan("ckks.KeySwitch")
+	defer sp.End()
 	u, v := ev.keySwitchRaised(level, x, swk)
 	return ev.keySwitchDown(level, u, v)
 }
@@ -297,6 +334,9 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
 	if ev.keys.Rlk == nil {
 		panic("ckks: evaluator has no relinearization key")
 	}
+	sp := ev.rec.StartSpan("ckks.MulRelin")
+	defer sp.End()
+	ev.rec.Add("ckks.mult", 1)
 	level := minLevel(ct0, ct1)
 	rQ := ev.params.RingQ().AtLevel(level)
 
@@ -315,6 +355,8 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
 
 // Mul is the full Table 2 Mult: tensor, relinearize, rescale.
 func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) *Ciphertext {
+	sp := ev.rec.StartSpan("ckks.Mult")
+	defer sp.End()
 	return ev.Rescale(ev.MulRelin(ct0, ct1))
 }
 
@@ -335,11 +377,16 @@ func (ev *Evaluator) Rotate(ct *Ciphertext, k int) *Ciphertext {
 	if g == 1 {
 		return ct.CopyNew()
 	}
+	sp := ev.rec.StartSpan("ckks.Rotate")
+	defer sp.End()
+	ev.rec.Add("ckks.rotate", 1)
 	return ev.automorphism(ct, g)
 }
 
 // Conjugate returns the slot-wise complex conjugate (Table 2 Conjugate).
 func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
+	sp := ev.rec.StartSpan("ckks.Conjugate")
+	defer sp.End()
 	return ev.automorphism(ct, ev.params.RingQ().GaloisElementConjugate())
 }
 
@@ -374,6 +421,8 @@ func (ev *Evaluator) automorphismPolyQP(level int, a rns.PolyQP, g uint64) rns.P
 // Halevi–Shoup/GAZELLE referenced in §3.2). The map includes step 0 as a
 // copy when requested.
 func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphertext {
+	sp := ev.rec.StartSpan("ckks.RotateHoisted")
+	defer sp.End()
 	level := ct.Level
 	rQ := ev.params.RingQ().AtLevel(level)
 	conv := ev.params.Converter()
@@ -386,6 +435,7 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 			out[k] = ct.CopyNew()
 			continue
 		}
+		ev.rec.Add("ckks.rotate", 1)
 		gk := ev.galoisKey(g)
 		u := conv.NewPolyQP(level)
 		v := conv.NewPolyQP(level)

@@ -118,4 +118,23 @@ func TestJSONExport(t *testing.T) {
 			t.Errorf("%s: serialized AI %.4f inconsistent with counters %.4f", row.Name, row.Cost.AI, ai)
 		}
 	}
+	// Attribution trees: present, phase-structured, and each parent's
+	// byte total at least covers every child's (inclusive costs nest).
+	if back.Attribution.Mult.Name != "Mult" || len(back.Attribution.Mult.Children) == 0 {
+		t.Error("Mult attribution tree missing or empty")
+	}
+	if n := len(back.Attribution.Bootstrap.Children); n != 4 {
+		t.Errorf("bootstrap attribution has %d phases, want 4", n)
+	}
+	var checkNesting func(t2 CostTreeJSON)
+	checkNesting = func(node CostTreeJSON) {
+		parent := node.Cost.CtReadBytes + node.Cost.CtWriteBytes + node.Cost.KeyReadBytes + node.Cost.PtReadBytes
+		for _, ch := range node.Children {
+			if b := ch.Cost.CtReadBytes + ch.Cost.CtWriteBytes + ch.Cost.KeyReadBytes + ch.Cost.PtReadBytes; b > parent+parent/2 {
+				t.Errorf("%s: child %s bytes %d exceed parent %d beyond credit slack", node.Name, ch.Name, b, parent)
+			}
+			checkNesting(ch)
+		}
+	}
+	checkNesting(back.Attribution.Bootstrap)
 }

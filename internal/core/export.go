@@ -35,6 +35,24 @@ func costJSON(c simfhe.Cost) CostJSON {
 	}
 }
 
+// CostTreeJSON serializes a cost attribution tree: per node the name,
+// the inclusive cost, and the children. The hierarchy mirrors
+// simfhe.CostTree, so plotting scripts can build flame graphs or icicle
+// charts of the DRAM/ops breakdown directly from the report.
+type CostTreeJSON struct {
+	Name     string         `json:"name"`
+	Cost     CostJSON       `json:"cost"`
+	Children []CostTreeJSON `json:"children,omitempty"`
+}
+
+func costTreeJSON(t *simfhe.CostTree) CostTreeJSON {
+	out := CostTreeJSON{Name: t.Name, Cost: costJSON(t.Total())}
+	for _, ch := range t.Children {
+		out.Children = append(out.Children, costTreeJSON(ch))
+	}
+	return out
+}
+
 // Report is the full experiment dump.
 type Report struct {
 	Table4 []struct {
@@ -74,6 +92,12 @@ type Report struct {
 	} `json:"table6"`
 	Figure6LR     map[string][]Fig6PointJSON `json:"figure6_lr"`
 	Figure6ResNet map[string][]Fig6PointJSON `json:"figure6_resnet"`
+	// Attribution holds the hierarchical per-sub-op breakdowns of the
+	// headline operations under the fully-optimized configuration.
+	Attribution struct {
+		Mult      CostTreeJSON `json:"mult"`
+		Bootstrap CostTreeJSON `json:"bootstrap"`
+	} `json:"attribution"`
 }
 
 // Fig6PointJSON is one application bar.
@@ -130,6 +154,9 @@ func BuildReport() Report {
 	}
 	r.Figure6LR = fig6JSON(Figure6LR())
 	r.Figure6ResNet = fig6JSON(Figure6ResNet())
+	ctx := simfhe.NewCtx(simfhe.Optimal(), simfhe.MB(32), simfhe.AllOpts())
+	r.Attribution.Mult = costTreeJSON(ctx.MultTree(ctx.P.L))
+	r.Attribution.Bootstrap = costTreeJSON(ctx.BootstrapTree())
 	return r
 }
 

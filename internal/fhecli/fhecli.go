@@ -16,13 +16,40 @@ import (
 	"strconv"
 
 	"repro/internal/ckks"
+	"repro/internal/obs"
 	"repro/internal/prng"
 )
 
-// Run dispatches the subcommand. Output goes to w; errors are returned.
+// recorder, when non-nil (set by a leading -debug-addr flag), is attached
+// to every evaluator the subcommands build, so /metrics exposes the
+// ckks.* counters of the operation in flight.
+var recorder *obs.Recorder
+
+// Run dispatches the subcommand. A leading -debug-addr ADDR serves
+// /debug/pprof and /metrics over HTTP for the duration of the command.
+// Output goes to w; errors are returned.
 func Run(args []string, w io.Writer) error {
+	usageErr := fmt.Errorf("usage: fhe [-debug-addr ADDR] {keygen|encrypt|add|mul|rotate|sum|decrypt|info} [flags]")
 	if len(args) == 0 {
-		return fmt.Errorf("usage: fhe {keygen|encrypt|add|mul|rotate|sum|decrypt|info} [flags]")
+		return usageErr
+	}
+	global := flag.NewFlagSet("fhe", flag.ContinueOnError)
+	debugAddr := global.String("debug-addr", "", "serve /debug/pprof and /metrics on this address while the command runs")
+	global.SetOutput(io.Discard)
+	if err := global.Parse(args); err != nil {
+		return usageErr
+	}
+	args = global.Args()
+	if len(args) == 0 {
+		return usageErr
+	}
+	if *debugAddr != "" {
+		recorder = obs.NewRecorder()
+		addr, err := obs.StartDebugServer(*debugAddr, recorder)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "debug server: http://%s/debug/pprof/ and http://%s/metrics\n", addr, addr)
 	}
 	switch args[0] {
 	case "keygen":
@@ -126,7 +153,9 @@ func (k *keyDir) evaluator(needRotation int) (*ckks.Evaluator, error) {
 		}
 		keys.Galois[g] = &ckks.GaloisKey{GaloisEl: g, SwitchingKey: *gswk}
 	}
-	return ckks.NewEvaluator(k.params, keys), nil
+	ev := ckks.NewEvaluator(k.params, keys)
+	ev.SetRecorder(recorder)
+	return ev, nil
 }
 
 func keygen(args []string, w io.Writer) error {
@@ -431,6 +460,7 @@ func innerSum(args []string, w io.Writer) error {
 		keys.Galois[g] = &ckks.GaloisKey{GaloisEl: g, SwitchingKey: *swk}
 	}
 	ev := ckks.NewEvaluator(k.params, keys)
+	ev.SetRecorder(recorder)
 	res := ev.InnerSum(ct, *n)
 	if err := writeCt(*out, res); err != nil {
 		return err

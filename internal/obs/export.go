@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Exporters. All three operate on a Snapshot and are deterministic:
+// spans are ordered by start time (then ID), counters and gauges by name.
+
+// chromeEvent is one trace_event entry. We emit only complete ("X")
+// duration events plus process/thread names; nesting is derived by the
+// viewer from the time intervals on a shared tid.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]uint64 `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the snapshot in Chrome trace_event JSON format,
+// loadable in chrome://tracing or https://ui.perfetto.dev. Span counter
+// deltas appear as event args; recorder-level counters and gauges are
+// attached to a zero-duration "metrics" instant event at the end of the
+// trace.
+func (s Snapshot) WriteChromeTrace(w io.Writer) error {
+	spans := append([]SpanRecord(nil), s.Spans...)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	var end float64
+	for _, sp := range spans {
+		ev := chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  1,
+		}
+		if len(sp.Counters) > 0 {
+			ev.Args = sp.Counters
+		}
+		if e := ev.Ts + ev.Dur; e > end {
+			end = e
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+	if len(s.Counters) > 0 || len(s.Gauges) > 0 {
+		args := make(map[string]uint64, len(s.Counters)+len(s.Gauges))
+		for k, v := range s.Counters {
+			args[k] = v
+		}
+		for k, v := range s.Gauges {
+			args[k] = uint64(v)
+		}
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "metrics", Ph: "i", Ts: end, Pid: 1, Tid: 1, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tr)
+}
+
+// WritePrometheus writes counters and gauges in the Prometheus text
+// exposition format (version 0.0.4). Counter names are suffixed _total
+// per convention; all names are sanitized to the Prometheus charset.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, name := range sortedKeys(s.Counters) {
+		metric := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", metric, metric, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		metric := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", metric, metric,
+			strconv.FormatFloat(s.Gauges[name], 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps an arbitrary metric name onto the Prometheus identifier
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func promName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	if len(out) == 0 {
+		return "_"
+	}
+	return string(out)
+}
+
+// WriteCSV writes spans, counters and gauges as CSV rows:
+//
+//	kind,id,parent,name,start_us,dur_us,value
+func (s Snapshot) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kind", "id", "parent", "name", "start_us", "dur_us", "value"}); err != nil {
+		return err
+	}
+	spans := append([]SpanRecord(nil), s.Spans...)
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start != spans[j].Start {
+			return spans[i].Start < spans[j].Start
+		}
+		return spans[i].ID < spans[j].ID
+	})
+	for _, sp := range spans {
+		if err := cw.Write([]string{
+			"span",
+			strconv.FormatUint(sp.ID, 10),
+			strconv.FormatUint(sp.Parent, 10),
+			sp.Name,
+			strconv.FormatFloat(float64(sp.Start.Nanoseconds())/1e3, 'f', 3, 64),
+			strconv.FormatFloat(float64(sp.Dur.Nanoseconds())/1e3, 'f', 3, 64),
+			"",
+		}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		if err := cw.Write([]string{"counter", "", "", name, "", "", strconv.FormatUint(s.Counters[name], 10)}); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		if err := cw.Write([]string{"gauge", "", "", name, "", "", strconv.FormatFloat(s.Gauges[name], 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Recorder conveniences: export the current state directly.
+
+func (r *Recorder) WriteChromeTrace(w io.Writer) error { return r.Snapshot().WriteChromeTrace(w) }
+func (r *Recorder) WritePrometheus(w io.Writer) error  { return r.Snapshot().WritePrometheus(w) }
+func (r *Recorder) WriteCSV(w io.Writer) error         { return r.Snapshot().WriteCSV(w) }

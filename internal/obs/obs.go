@@ -1,0 +1,223 @@
+// Package obs is the repository's zero-dependency observability layer:
+// hierarchical wall-clock spans, monotonic counters and gauges, collected
+// by a concurrency-safe Recorder and exportable as a Chrome trace_event
+// JSON file (loadable in chrome://tracing or Perfetto), Prometheus text
+// exposition format, or CSV.
+//
+// The package is designed so that instrumentation can stay compiled into
+// hot paths permanently: every method is safe on a nil *Recorder (and a
+// nil *Span), reducing the disabled cost to a single nil check. Code
+// therefore holds a plain *Recorder field that defaults to nil and never
+// guards call sites:
+//
+//	sp := ev.rec.StartSpan("ckks.Mult") // no-op when ev.rec == nil
+//	defer sp.End()
+//	ev.rec.Add("ckks.ntt", 12)
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder collects spans, counters and gauges. The zero value is NOT
+// ready for use — construct with NewRecorder. A nil *Recorder is the
+// no-op recorder: every method returns immediately.
+type Recorder struct {
+	mu       sync.Mutex
+	start    time.Time
+	now      func() time.Time // injectable clock for deterministic tests
+	spans    []SpanRecord
+	counters map[string]uint64
+	gauges   map[string]float64
+	nextID   uint64
+}
+
+// SpanRecord is one finished span. Times are relative to the recorder's
+// construction so exports are stable against wall-clock epoch.
+type SpanRecord struct {
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Name   string
+	Start  time.Duration
+	Dur    time.Duration
+	// Counters holds the delta of every recorder counter over the span's
+	// lifetime. Overlapping spans each observe the full delta (attribution
+	// is by wall-clock interval, not exclusive ownership).
+	Counters map[string]uint64
+}
+
+// Span is an in-flight span handle. A nil *Span is a valid no-op.
+type Span struct {
+	r      *Recorder
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+	snap   map[string]uint64
+}
+
+// NewRecorder returns an empty, enabled recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{
+		start:    time.Now(),
+		now:      time.Now,
+		counters: make(map[string]uint64),
+		gauges:   make(map[string]float64),
+	}
+}
+
+// StartSpan opens a root span. End must be called to record it.
+func (r *Recorder) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	return r.startSpan(name, 0)
+}
+
+// StartChild opens a span parented under s (falling back to a root span
+// when s is nil but the recorder passed at creation is unknown — a nil
+// span yields a nil child).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.r.startSpan(name, s.id)
+}
+
+func (r *Recorder) startSpan(name string, parent uint64) *Span {
+	r.mu.Lock()
+	r.nextID++
+	id := r.nextID
+	snap := make(map[string]uint64, len(r.counters))
+	for k, v := range r.counters {
+		snap[k] = v
+	}
+	r.mu.Unlock()
+	return &Span{r: r, id: id, parent: parent, name: name, start: r.now(), snap: snap}
+}
+
+// End finishes the span and records it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	r := s.r
+	end := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var delta map[string]uint64
+	for k, v := range r.counters {
+		if d := v - s.snap[k]; d > 0 {
+			if delta == nil {
+				delta = make(map[string]uint64)
+			}
+			delta[k] = d
+		}
+	}
+	r.spans = append(r.spans, SpanRecord{
+		ID:       s.id,
+		Parent:   s.parent,
+		Name:     s.name,
+		Start:    s.start.Sub(r.start),
+		Dur:      end.Sub(s.start),
+		Counters: delta,
+	})
+}
+
+// Add increments a monotonic counter.
+func (r *Recorder) Add(name string, delta uint64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] += delta
+	r.mu.Unlock()
+}
+
+// SetGauge sets a gauge to the given value.
+func (r *Recorder) SetGauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = v
+	r.mu.Unlock()
+}
+
+// Counter returns the current value of a counter (0 when absent or when
+// the recorder is nil).
+func (r *Recorder) Counter(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Reset drops all recorded spans and zeroes counters and gauges.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = nil
+	r.counters = make(map[string]uint64)
+	r.gauges = make(map[string]float64)
+	r.mu.Unlock()
+}
+
+// Snapshot is an immutable copy of a recorder's state. Exporters operate
+// on snapshots so synthetic traces (e.g. the simulator's modeled
+// timelines) can be built without a live recorder.
+type Snapshot struct {
+	Spans    []SpanRecord
+	Counters map[string]uint64
+	Gauges   map[string]float64
+}
+
+// Snapshot copies the recorder's current state.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Spans:    make([]SpanRecord, len(r.spans)),
+		Counters: make(map[string]uint64, len(r.counters)),
+		Gauges:   make(map[string]float64, len(r.gauges)),
+	}
+	copy(s.Spans, r.spans)
+	for k, v := range r.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range r.gauges {
+		s.Gauges[k] = v
+	}
+	return s
+}
+
+// SpansNamed returns the snapshot's spans with the given name, in
+// recording order.
+func (s Snapshot) SpansNamed(name string) []SpanRecord {
+	var out []SpanRecord
+	for _, sp := range s.Spans {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// sortedKeys returns map keys in lexical order (deterministic exports).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

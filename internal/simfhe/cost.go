@@ -1,6 +1,9 @@
 package simfhe
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Cost tallies the compute operations and DRAM transfers of a (sequence
 // of) homomorphic operations — the two quantities SimFHE tracks.
@@ -38,7 +41,10 @@ func (c Cost) AI() float64 {
 	return float64(c.Ops()) / float64(c.Bytes())
 }
 
-// Plus returns the element-wise sum of two costs.
+// Plus returns the element-wise sum of two costs. The fields are uint64
+// and realistic workload totals sit far below 2^64, so this fast path is
+// unchecked; accumulation loops that could conceivably compound (the
+// CostTree totals, schedule interpreters) use PlusChecked instead.
 func (c Cost) Plus(o Cost) Cost {
 	return Cost{
 		MulMod:              c.MulMod + o.MulMod,
@@ -52,19 +58,62 @@ func (c Cost) Plus(o Cost) Cost {
 	}
 }
 
-// Times returns the cost repeated n times.
-func (c Cost) Times(n int) Cost {
-	u := uint64(n)
+// PlusChecked is Plus with uint64 wraparound detection: it panics rather
+// than silently producing a tiny total out of a huge one.
+func (c Cost) PlusChecked(o Cost) Cost {
 	return Cost{
-		MulMod:              c.MulMod * u,
-		AddMod:              c.AddMod * u,
-		NTT:                 c.NTT * u,
-		CtRead:              c.CtRead * u,
-		CtWrite:             c.CtWrite * u,
-		KeyRead:             c.KeyRead * u,
-		PtRead:              c.PtRead * u,
-		OrientationSwitches: c.OrientationSwitches * u,
+		MulMod:              addChecked(c.MulMod, o.MulMod),
+		AddMod:              addChecked(c.AddMod, o.AddMod),
+		NTT:                 addChecked(c.NTT, o.NTT),
+		CtRead:              addChecked(c.CtRead, o.CtRead),
+		CtWrite:             addChecked(c.CtWrite, o.CtWrite),
+		KeyRead:             addChecked(c.KeyRead, o.KeyRead),
+		PtRead:              addChecked(c.PtRead, o.PtRead),
+		OrientationSwitches: addChecked(c.OrientationSwitches, o.OrientationSwitches),
 	}
+}
+
+// Times returns the cost repeated n times. The fields and n are both
+// interpreted as signed: the model transiently stores two's-complement
+// negatives (the minusCtRead/minusCtWrite fusion credits, and the
+// degenerate limb counts of a too-short chain), and a negative n negates
+// a credit rather than silently scaling it by a near-2^64 factor, which
+// is what the old unchecked code did. Any field whose signed product
+// escapes the int64 range panics instead of wrapping.
+func (c Cost) Times(n int) Cost {
+	u := int64(n)
+	return Cost{
+		MulMod:              mulChecked(c.MulMod, u),
+		AddMod:              mulChecked(c.AddMod, u),
+		NTT:                 mulChecked(c.NTT, u),
+		CtRead:              mulChecked(c.CtRead, u),
+		CtWrite:             mulChecked(c.CtWrite, u),
+		KeyRead:             mulChecked(c.KeyRead, u),
+		PtRead:              mulChecked(c.PtRead, u),
+		OrientationSwitches: mulChecked(c.OrientationSwitches, u),
+	}
+}
+
+func addChecked(a, b uint64) uint64 {
+	s := a + b
+	if s < a {
+		panic("simfhe: Cost addition overflows uint64")
+	}
+	return s
+}
+
+func mulChecked(a uint64, b int64) uint64 {
+	// a may be a two's-complement negative (fusion credit); multiply as
+	// signed and verify by division that the product stayed in int64.
+	sa := int64(a)
+	if sa == 0 || b == 0 {
+		return 0
+	}
+	prod := sa * b
+	if prod/b != sa || (sa == math.MinInt64 && b == -1) {
+		panic("simfhe: Cost.Times product overflows")
+	}
+	return uint64(prod)
 }
 
 // GOps returns total compute in units of 10^9 operations (Table 4 rows).

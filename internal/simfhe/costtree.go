@@ -1,0 +1,355 @@
+package simfhe
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// CostTree attributes a primitive's (or pipeline's) cost to its sub-
+// operations: each node names one stage, carries the cost incurred
+// directly at that stage (Self), the DRAM traffic a fusion spanning the
+// node's children elides (Credit), and the child stages. The tree is the
+// hierarchical form of the paper's Tables 3–4: instead of one flattened
+// Cost per primitive, every ModUp, key inner product and ModDown is
+// individually chargeable — the prerequisite for per-kernel memory/
+// compute breakdowns à la ARK or CraterLake evaluations.
+//
+// Conservation invariant: for every builder below, Total() equals the
+// corresponding flat cost function exactly (enforced by
+// TestCostTreeConservation). Credits model the same minusCtRead/
+// minusCtWrite adjustments the flat models apply, attributed to the node
+// whose fusion removes the traffic.
+type CostTree struct {
+	Name     string
+	Self     Cost
+	Credit   Cost // DRAM round trips elided by fusions at this node
+	Children []*CostTree
+}
+
+func leaf(name string, self Cost) *CostTree { return &CostTree{Name: name, Self: self} }
+
+// Total returns the node's inclusive cost: Self plus every child's
+// Total, minus the fusion Credit. Accumulation is overflow-checked, and
+// a credit exceeding the gathered traffic panics — both would be
+// modeling bugs, not data.
+func (t *CostTree) Total() Cost {
+	sum := t.Self
+	for _, ch := range t.Children {
+		sum = sum.PlusChecked(ch.Total())
+	}
+	return sum.minusChecked(t.Credit)
+}
+
+// minusChecked subtracts o element-wise, panicking on underflow.
+func (c Cost) minusChecked(o Cost) Cost {
+	return Cost{
+		MulMod:              subChecked(c.MulMod, o.MulMod),
+		AddMod:              subChecked(c.AddMod, o.AddMod),
+		NTT:                 subChecked(c.NTT, o.NTT),
+		CtRead:              subChecked(c.CtRead, o.CtRead),
+		CtWrite:             subChecked(c.CtWrite, o.CtWrite),
+		KeyRead:             subChecked(c.KeyRead, o.KeyRead),
+		PtRead:              subChecked(c.PtRead, o.PtRead),
+		OrientationSwitches: subChecked(c.OrientationSwitches, o.OrientationSwitches),
+	}
+}
+
+func subChecked(a, b uint64) uint64 {
+	if b > a {
+		panic("simfhe: CostTree credit exceeds gathered cost")
+	}
+	return a - b
+}
+
+// Walk visits the tree depth-first, parents before children.
+func (t *CostTree) Walk(fn func(node *CostTree, depth int)) {
+	t.walk(fn, 0)
+}
+
+func (t *CostTree) walk(fn func(*CostTree, int), depth int) {
+	fn(t, depth)
+	for _, ch := range t.Children {
+		ch.walk(fn, depth+1)
+	}
+}
+
+// Render writes an indented text view of the tree: per node the
+// inclusive Gops/GB/AI and the share of the root's DRAM traffic.
+func (t *CostTree) Render(w io.Writer) {
+	rootBytes := float64(t.Total().Bytes())
+	t.Walk(func(n *CostTree, depth int) {
+		c := n.Total()
+		share := 0.0
+		if rootBytes > 0 {
+			share = 100 * float64(c.Bytes()) / rootBytes
+		}
+		fmt.Fprintf(w, "%-*s%-*s %10.4f Gops %10.4f GB %6.1f%% DRAM  AI %5.2f\n",
+			2*depth, "", 28-2*depth, n.Name, c.GOps(), c.GB(), share, c.AI())
+	})
+}
+
+// --- Builders mirroring the flat primitive models ---
+
+// KeySwitchTree attributes KeySwitch (Algorithm 3 on one polynomial).
+// Total() == KeySwitch(l), including the Decomp→ModUp fusion credit the
+// flat model applies under the O(1) caching optimization.
+func (c Ctx) KeySwitchTree(l int) *CostTree {
+	t := c.keySwitchTreeWithDrop(l, c.P.Alpha())
+	if c.Opts.CacheO1 {
+		t.Credit = t.Credit.Plus(c.P.writeCt(l)).Plus(c.P.readCt(l))
+	}
+	return t
+}
+
+// keySwitchTreeWithDrop builds the KeySwitch node with a configurable
+// ModDown divisor (α, or α+1 when the caller merges the Rescale in).
+func (c Ctx) keySwitchTreeWithDrop(l, dropLimbs int) *CostTree {
+	p := c.P
+	dropResident := c.Opts.LimbReorder
+	t := &CostTree{
+		Name: "KeySwitch",
+		Children: []*CostTree{
+			leaf("Decomp", c.Decomp(l)),
+			leaf("ModUp", c.modUpAll(l)),
+			leaf("KSKInnerProd", c.KSKInnerProd(l, false)),
+			leaf("ModDown", c.ModDownPoly(l, dropLimbs, dropResident).Times(2)),
+		},
+	}
+	if dropResident {
+		t.Credit = t.Credit.Plus(p.writeCt(2 * p.Alpha()))
+	}
+	return t
+}
+
+// MultTree attributes the full Table 2 Mult. Total() == Mult(l).
+func (c Ctx) MultTree(l int) *CostTree {
+	p := c.P
+	t := &CostTree{Name: "Mult"}
+	t.Children = append(t.Children,
+		leaf("Tensor", p.pointwise(l, 4, 1).Plus(p.readCt(4*l)).Plus(p.writeCt(3*l))))
+
+	drop := p.Alpha()
+	if c.Opts.ModDownMerge {
+		drop++
+	}
+	t.Children = append(t.Children, c.keySwitchTreeWithDrop(l, drop))
+
+	if c.Opts.ModDownMerge {
+		// PModUp lift of (d0, d1), raised adds, recombine reads; the
+		// Rescale is folded into the single larger ModDown above.
+		t.Children = append(t.Children, leaf("Recombine",
+			p.pointwise(2*l, 1, 0).
+				Plus(p.pointwise(2*(l+p.Alpha()), 0, 1)).
+				Plus(p.readCt(2*l))))
+	} else {
+		t.Children = append(t.Children, leaf("Recombine",
+			p.pointwise(2*l, 0, 1).Plus(p.readCt(4*l)).Plus(p.writeCt(2*l))))
+		t.Children = append(t.Children, leaf("Rescale", c.RescalePoly(l).Times(2)))
+	}
+	if c.Opts.CacheO1 {
+		t.Credit = t.Credit.Plus(p.writeCt(2 * l)).Plus(p.readCt(2 * l))
+		if !c.Opts.ModDownMerge {
+			t.Credit = t.Credit.Plus(p.writeCt(3 * l)).Plus(p.readCt(3 * l))
+		}
+	}
+	return t
+}
+
+// RotateTree attributes Rotate. Total() == Rotate(l).
+func (c Ctx) RotateTree(l int) *CostTree { return c.rotateTree(l, "Rotate") }
+
+// ConjugateTree attributes Conjugate (same model as Rotate, Table 4).
+func (c Ctx) ConjugateTree(l int) *CostTree { return c.rotateTree(l, "Conjugate") }
+
+func (c Ctx) rotateTree(l int, name string) *CostTree {
+	p := c.P
+	t := &CostTree{
+		Name: name,
+		Children: []*CostTree{
+			leaf("Automorph", c.Automorph(l)),
+			c.KeySwitchTree(l),
+			leaf("Recombine", p.pointwise(l, 0, 1).Plus(p.readCt(2*l)).Plus(p.writeCt(l))),
+		},
+	}
+	if c.Opts.CacheO1 {
+		t.Credit = t.Credit.Plus(p.writeCt(2 * l)).Plus(p.readCt(2 * l))
+	}
+	return t
+}
+
+// PtMultTree attributes PtMult. Total() == PtMult(l).
+func (c Ctx) PtMultTree(l int) *CostTree {
+	p := c.P
+	t := &CostTree{
+		Name: "PtMult",
+		Children: []*CostTree{
+			leaf("PtMul", p.pointwise(2*l, 1, 0).Plus(p.readCt(2*l)).Plus(p.readPt(l)).Plus(p.writeCt(2*l))),
+			leaf("Rescale", c.RescalePoly(l).Times(2)),
+		},
+	}
+	if c.Opts.CacheO1 {
+		t.Credit = t.Credit.Plus(p.writeCt(2 * l)).Plus(p.readCt(2 * l))
+	}
+	return t
+}
+
+// BootstrapTree attributes the full Algorithm 4 pipeline. The four
+// top-level children match BootstrapBreakdown's phases exactly, and
+// Total() == Bootstrap().Total().
+func (c Ctx) BootstrapTree() *CostTree {
+	p := c.P
+	root := &CostTree{Name: "Bootstrap"}
+	l := p.L
+
+	// ModRaise (mirrors Bootstrap()'s raise block).
+	mr := &CostTree{Name: "ModRaise"}
+	{
+		in := 2
+		kOut := l - in
+		raise := p.nttLimb().Times(in).
+			Plus(p.newLimbCost(in, kOut)).
+			Plus(p.nttLimb().Times(kOut)).
+			Plus(switches(1))
+		raise = raise.Plus(p.readCt(in)).Plus(p.writeCt(l))
+		if !c.Opts.CacheAlpha {
+			raise = raise.Plus(p.writeCt(in)).Plus(p.readCt(in)).
+				Plus(p.writeCt(kOut)).Plus(p.readCt(kOut))
+		}
+		mr.Children = append(mr.Children, leaf("Raise", raise.Times(2)))
+	}
+	if r := p.SubSumRotations(); r > 0 {
+		mr.Children = append(mr.Children, leaf("SubSum", c.Rotate(l).Plus(c.Add(l)).Times(r)))
+	}
+	root.Children = append(root.Children, mr)
+
+	diags := p.DFTDiagonals()
+
+	cts := &CostTree{Name: "CoeffToSlot"}
+	for i, d := range diags {
+		cts.Children = append(cts.Children,
+			leaf(fmt.Sprintf("PtMatVecMult[%d]", i), c.PtMatVecMult(l, d)))
+		l--
+	}
+	cts.Children = append(cts.Children, leaf("ConjSplit",
+		c.Conjugate(l).Plus(c.Add(l).Times(2)).Plus(p.pointwise(2*l, 1, 0))))
+	root.Children = append(root.Children, cts)
+
+	em := &CostTree{Name: "EvalMod"}
+	{
+		mults, depth := chebMults(p.SineDegree)
+		mults += p.DoubleAngle
+		depth += p.DoubleAngle
+		var multCost Cost
+		for i := 0; i < mults; i++ {
+			lv := l - (i*depth)/mults
+			if lv < 1 {
+				lv = 1
+			}
+			multCost = multCost.Plus(c.Mult(lv))
+		}
+		em.Children = append(em.Children,
+			leaf("ChebyshevMults", multCost.Times(2)),
+			leaf("LeafOps", p.pointwise(2*l, 1, 1).Times(p.SineDegree).Times(2)))
+		l -= depth
+		em.Children = append(em.Children,
+			leaf("Recombine", p.pointwise(2*l, 1, 0).Plus(c.Add(l))))
+	}
+	root.Children = append(root.Children, em)
+
+	stc := &CostTree{Name: "SlotToCoeff"}
+	for i, d := range diags {
+		stc.Children = append(stc.Children,
+			leaf(fmt.Sprintf("PtMatVecMult[%d]", i), c.PtMatVecMult(l, d)))
+		l--
+	}
+	root.Children = append(root.Children, stc)
+
+	return root
+}
+
+// OpTree returns the attribution tree for one schedule operation at the
+// given limb count — the tree-valued counterpart of RunSchedule's
+// per-step cost dispatch.
+func (c Ctx) OpTree(k OpKind, l int) *CostTree {
+	switch k {
+	case OpAdd:
+		return leaf("Add", c.Add(l))
+	case OpPtAdd:
+		return leaf("PtAdd", c.PtAdd(l))
+	case OpMult:
+		return c.MultTree(l)
+	case OpPtMult:
+		return c.PtMultTree(l)
+	case OpRotate:
+		return c.RotateTree(l)
+	case OpConjugate:
+		return c.ConjugateTree(l)
+	case OpRescale:
+		return leaf("Rescale", c.RescalePoly(l).Times(2))
+	case OpBootstrap:
+		return c.BootstrapTree()
+	default:
+		panic(fmt.Sprintf("simfhe: OpTree: unknown op kind %d", k))
+	}
+}
+
+// --- Synthetic trace export ---
+
+// SpanRecords lays the tree out on a modeled timeline for the given
+// machine and returns obs span records ready for Chrome-trace export:
+// each node becomes a span whose duration is its roofline runtime, with
+// the node's own work first and the children laid out sequentially after
+// it. Fusion credits shorten only the node that owns them (the interval
+// arithmetic stays nested even though credited children overlap the
+// saving). Span args carry the node's inclusive cost fields.
+func (t *CostTree) SpanRecords(m Machine, start time.Duration) []obs.SpanRecord {
+	var out []obs.SpanRecord
+	var nextID uint64
+	var emit func(n *CostTree, parent uint64, at time.Duration) time.Duration
+	emit = func(n *CostTree, parent uint64, at time.Duration) time.Duration {
+		nextID++
+		id := nextID
+		rec := obs.SpanRecord{ID: id, Parent: parent, Name: n.Name, Start: at}
+		idx := len(out)
+		out = append(out, rec)
+
+		cursor := at + seconds(m.Seconds(n.Self))
+		for _, ch := range n.Children {
+			cursor = emit(ch, id, cursor)
+		}
+		total := n.Total()
+		out[idx].Dur = cursor - at
+		out[idx].Counters = map[string]uint64{
+			"mulmod":         total.MulMod,
+			"addmod":         total.AddMod,
+			"ntt":            total.NTT,
+			"ct_read_bytes":  total.CtRead,
+			"ct_write_bytes": total.CtWrite,
+			"key_read_bytes": total.KeyRead,
+			"pt_read_bytes":  total.PtRead,
+		}
+		return cursor
+	}
+	emit(t, 0, start)
+	return out
+}
+
+func seconds(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// MetricsSnapshot renders a cost as obs counters (for /metrics and
+// -metrics-out), using the given prefix, e.g. "simfhe_mult".
+func (c Cost) MetricsSnapshot(prefix string) map[string]uint64 {
+	return map[string]uint64{
+		prefix + "_mulmod":               c.MulMod,
+		prefix + "_addmod":               c.AddMod,
+		prefix + "_ntt":                  c.NTT,
+		prefix + "_ct_read_bytes":        c.CtRead,
+		prefix + "_ct_write_bytes":       c.CtWrite,
+		prefix + "_key_read_bytes":       c.KeyRead,
+		prefix + "_pt_read_bytes":        c.PtRead,
+		prefix + "_orientation_switches": c.OrientationSwitches,
+	}
+}

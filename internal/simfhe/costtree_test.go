@@ -1,0 +1,177 @@
+package simfhe
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// ctxMatrix spans the configurations the attribution trees must conserve
+// under: both parameter sets, cache sizes from streaming to ample, and
+// every optimization family (the merge/no-merge fork changes the Mult
+// tree shape).
+func ctxMatrix() []Ctx {
+	var out []Ctx
+	for _, p := range []Params{Baseline(), Optimal()} {
+		for _, mb := range []int{2, 32, 64} {
+			for _, opts := range []OptSet{NoOpts(), CachingOpts(), AllOpts(),
+				{ModDownMerge: true}, {CacheO1: true}} {
+				out = append(out, NewCtx(p, MB(mb), opts))
+			}
+		}
+	}
+	return out
+}
+
+// TestCostTreeConservation: attribution must conserve totals — every
+// tree's root Total() equals the flat cost model it decomposes, for
+// every primitive, at several limb counts.
+func TestCostTreeConservation(t *testing.T) {
+	for _, ctx := range ctxMatrix() {
+		for _, l := range []int{2, ctx.P.L / 2, ctx.P.L} {
+			check := func(name string, tree *CostTree, flat Cost) {
+				t.Helper()
+				if got := tree.Total(); got != flat {
+					t.Errorf("%v l=%d opts=%+v: %s tree total %v != flat %v",
+						ctx.P, l, ctx.Opts, name, got, flat)
+				}
+			}
+			check("Mult", ctx.MultTree(l), ctx.Mult(l))
+			check("Rotate", ctx.RotateTree(l), ctx.Rotate(l))
+			check("Conjugate", ctx.ConjugateTree(l), ctx.Conjugate(l))
+			check("KeySwitch", ctx.KeySwitchTree(l), ctx.KeySwitch(l))
+			check("PtMult", ctx.PtMultTree(l), ctx.PtMult(l))
+		}
+	}
+}
+
+// TestBootstrapTreeConservation: the four phase subtrees must equal the
+// BootstrapBreakdown phases exactly, and the root the flat total.
+func TestBootstrapTreeConservation(t *testing.T) {
+	for _, ctx := range ctxMatrix() {
+		bd := ctx.Bootstrap()
+		tree := ctx.BootstrapTree()
+		want := map[string]Cost{
+			"ModRaise":    bd.ModRaise,
+			"CoeffToSlot": bd.CoeffToSlot,
+			"EvalMod":     bd.EvalMod,
+			"SlotToCoeff": bd.SlotToCoeff,
+		}
+		if len(tree.Children) != len(want) {
+			t.Fatalf("bootstrap tree has %d phases, want %d", len(tree.Children), len(want))
+		}
+		for _, phase := range tree.Children {
+			if got := phase.Total(); got != want[phase.Name] {
+				t.Errorf("%v opts=%+v: phase %s tree %v != breakdown %v",
+					ctx.P, ctx.Opts, phase.Name, got, want[phase.Name])
+			}
+		}
+		if got := tree.Total(); got != bd.Total() {
+			t.Errorf("%v opts=%+v: bootstrap tree total %v != flat %v", ctx.P, ctx.Opts, got, bd.Total())
+		}
+	}
+}
+
+// TestOpTreeMatchesSchedule: the per-step trees the trace exporter uses
+// must charge exactly what RunSchedule charges.
+func TestOpTreeMatchesSchedule(t *testing.T) {
+	ctx := NewCtx(Optimal(), MB(32), AllOpts())
+	sched := Schedule{Name: "conservation", Steps: []Step{
+		{Kind: OpMult, Count: 3}, {Kind: OpRotate, Count: 4}, {Kind: OpPtMult, Count: 2},
+		{Kind: OpAdd, Count: 2}, {Kind: OpRescale, Count: 1}, {Kind: OpConjugate, Count: 1},
+		{Kind: OpPtAdd, Count: 1},
+	}}
+	res, err := ctx.RunSchedule(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var treeTotal Cost
+	for _, sc := range res.PerStep {
+		// RunSchedule records the post-op level; the op was charged at the
+		// pre-op level.
+		l := sc.Limbs + sc.Step.Kind.levelCost()
+		treeTotal = treeTotal.PlusChecked(ctx.OpTree(sc.Step.Kind, l).Total())
+	}
+	if treeTotal != res.Total {
+		t.Fatalf("sum of op trees %v != schedule total %v", treeTotal, res.Total)
+	}
+}
+
+func TestCostTimesGuards(t *testing.T) {
+	c := Cost{MulMod: 1 << 40}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	// A negative repetition is a signed credit: it negates exactly
+	// (mod 2^64) instead of silently scaling by a near-2^64 factor.
+	if got := c.Times(-1).Plus(c); got != (Cost{}) {
+		t.Errorf("Times(-1) is not an exact negation: %+v", got)
+	}
+	mustPanic("Times overflow", func() { Cost{MulMod: 1 << 62}.Times(4) })
+	mustPanic("Times signed-min overflow", func() { Cost{MulMod: 1 << 63}.Times(-1) })
+	mustPanic("PlusChecked overflow", func() {
+		Cost{MulMod: ^uint64(0)}.PlusChecked(Cost{MulMod: 1})
+	})
+	mustPanic("credit underflow", func() {
+		(&CostTree{Name: "x", Credit: Cost{CtRead: 1}}).Total()
+	})
+	// The happy paths still work.
+	if got := c.Times(3).MulMod; got != 3<<40 {
+		t.Errorf("Times(3) = %d", got)
+	}
+	if got := c.PlusChecked(c).MulMod; got != 2<<40 {
+		t.Errorf("PlusChecked = %d", got)
+	}
+}
+
+func TestSpanRecordsNested(t *testing.T) {
+	ctx := NewCtx(Optimal(), MB(32), AllOpts())
+	m := Machine{PeakOpsPerSec: 8192e9, PeakBytesPerSec: 1e12}
+	tree := ctx.MultTree(ctx.P.L)
+	spans := tree.SpanRecords(m, 0)
+	if len(spans) == 0 {
+		t.Fatal("no spans emitted")
+	}
+	byID := map[uint64]int{}
+	for i, sp := range spans {
+		byID[sp.ID] = i
+		if sp.Dur < 0 {
+			t.Errorf("span %s has negative duration", sp.Name)
+		}
+	}
+	names := map[string]bool{}
+	for _, sp := range spans {
+		names[sp.Name] = true
+		if sp.Parent == 0 {
+			continue
+		}
+		parent := spans[byID[sp.Parent]]
+		if sp.Start < parent.Start || sp.Start+sp.Dur > parent.Start+parent.Dur+time.Nanosecond {
+			t.Errorf("span %s [%v,%v] escapes parent %s [%v,%v]",
+				sp.Name, sp.Start, sp.Start+sp.Dur, parent.Name, parent.Start, parent.Start+parent.Dur)
+		}
+	}
+	for _, want := range []string{"Mult", "KeySwitch", "Tensor"} {
+		if !names[want] {
+			t.Errorf("missing span %q", want)
+		}
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	ctx := NewCtx(Baseline(), MB(2), NoOpts())
+	var sb strings.Builder
+	ctx.MultTree(ctx.P.L).Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"Mult", "KeySwitch", "ModUp", "Rescale", "Gops"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -31,6 +31,21 @@ func (m Machine) AttainableOpsPerSec(ai float64) float64 {
 	return m.PeakOpsPerSec
 }
 
+// Seconds returns the roofline runtime of a cost on the machine: the
+// slower of the compute time and the DRAM-transfer time, each at peak.
+func (m Machine) Seconds(c Cost) float64 {
+	var t float64
+	if m.PeakOpsPerSec > 0 {
+		t = float64(c.Ops()) / m.PeakOpsPerSec
+	}
+	if m.PeakBytesPerSec > 0 {
+		if mem := float64(c.Bytes()) / m.PeakBytesPerSec; mem > t {
+			t = mem
+		}
+	}
+	return t
+}
+
 // MemoryBound reports whether a cost with the given AI is memory-bound on
 // the machine.
 func (m Machine) MemoryBound(c Cost) bool {

@@ -57,6 +57,10 @@ func (k OpKind) levelCost() int {
 
 func (k OpKind) String() string { return opNames[k] }
 
+// LevelCost exposes levelCost for schedule replays (e.g. the trace
+// exporter reconstructs per-step limb counts and auto-bootstrap points).
+func (k OpKind) LevelCost() int { return k.levelCost() }
+
 // Step is one schedule entry: Count repetitions of one operation.
 type Step struct {
 	Kind  OpKind
