@@ -8,6 +8,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bootstrap"
@@ -262,7 +263,8 @@ func BenchmarkCKKSRotateHoisted(b *testing.B) {
 	}
 }
 
-func BenchmarkFunctionalBootstrap(b *testing.B) {
+func benchBootstrapper(b *testing.B) (*bootstrap.Bootstrapper, *ckks.Ciphertext) {
+	b.Helper()
 	logQ := []int{48}
 	for i := 0; i < 16; i++ {
 		logQ = append(logQ, 40)
@@ -284,9 +286,69 @@ func BenchmarkFunctionalBootstrap(b *testing.B) {
 	enc := ckks.NewEncoder(params)
 	encryptor := ckks.NewSecretKeyEncryptor(params, sk, src)
 	ct := encryptor.Encrypt(enc.Encode(make([]complex128, params.Slots())))
-	ct = btp.Evaluator().DropLevel(ct, 0)
+	return btp, btp.Evaluator().DropLevel(ct, 0)
+}
+
+func BenchmarkFunctionalBootstrap(b *testing.B) {
+	btp, ct := benchBootstrapper(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = btp.Bootstrap(ct)
 	}
+}
+
+// parallelWorkerCounts is the sweep the parallel benchmarks run: serial,
+// two workers, every core (deduplicated, so a single-core machine only
+// measures the overhead of the worker pool, not a fake speedup).
+func parallelWorkerCounts() []int {
+	counts := []int{1, 2, runtime.NumCPU()}
+	var out []int
+	for _, c := range counts {
+		if len(out) == 0 || c > out[len(out)-1] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BenchmarkParallelBootstrap sweeps the worker knob over the full
+// bootstrap pipeline — the multi-limb workload where limb-, digit- and
+// rotation-level parallelism all engage. Outputs are bit-identical at
+// every worker count (asserted by TestBootstrapBitIdenticalAcrossWorkers);
+// only the wall clock changes.
+func BenchmarkParallelBootstrap(b *testing.B) {
+	btp, ct := benchBootstrapper(b)
+	for _, w := range parallelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			btp.SetWorkers(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = btp.Bootstrap(ct)
+			}
+		})
+	}
+	btp.SetWorkers(1)
+}
+
+// BenchmarkParallelRotateHoisted sweeps the worker knob over the hoisted
+// rotation fan-out (shared decomposition, per-step key switches) — the
+// kernel behind CoeffToSlot/SlotToCoeff diagonal evaluation.
+func BenchmarkParallelRotateHoisted(b *testing.B) {
+	params, kg, sk, src := benchCKKS(b)
+	steps := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	gks := kg.GenRotationKeys(steps, sk, false)
+	ev := ckks.NewEvaluator(params, &ckks.EvaluationKeySet{Galois: gks})
+	enc := ckks.NewEncoder(params)
+	encryptor := ckks.NewSecretKeyEncryptor(params, sk, src)
+	ct := encryptor.Encrypt(enc.Encode(make([]complex128, params.Slots())))
+	for _, w := range parallelWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ev.SetWorkers(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = ev.RotateHoisted(ct, steps)
+			}
+		})
+	}
+	ev.SetWorkers(1)
 }

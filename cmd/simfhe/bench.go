@@ -1,0 +1,205 @@
+package main
+
+// The bench subcommand complements the simulator: where every other
+// subcommand reports *modeled* costs, bench measures the functional
+// library on real silicon, sweeping the evaluator's worker knob across a
+// bootstrap-scale workload and writing the results as machine-readable
+// JSON (BENCH_parallel.json). The outputs at every worker count are
+// bit-identical — the tests assert it — so the sweep isolates pure
+// wall-clock effects of limb-level parallelism.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bootstrap"
+	"repro/internal/ckks"
+	"repro/internal/prng"
+)
+
+// benchResult is one (workload, workers) measurement.
+type benchResult struct {
+	Workers int     `json:"workers"`
+	Iters   int     `json:"iters"`
+	NsPerOp int64   `json:"ns_per_op"`
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+type benchWorkload struct {
+	Name    string        `json:"name"`
+	LogN    int           `json:"logN"`
+	Limbs   int           `json:"limbs"`
+	Results []benchResult `json:"results"`
+}
+
+type benchReport struct {
+	GoMaxProcs int             `json:"gomaxprocs"`
+	NumCPU     int             `json:"num_cpu"`
+	Note       string          `json:"note"`
+	Workloads  []benchWorkload `json:"workloads"`
+}
+
+func parseWorkerList(s string) ([]int, error) {
+	if s == "" {
+		counts := []int{1, 2, runtime.NumCPU()}
+		sort.Ints(counts)
+		var out []int
+		for _, c := range counts {
+			if len(out) == 0 || c > out[len(out)-1] {
+				out = append(out, c)
+			}
+		}
+		return out, nil
+	}
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad worker count %q", tok)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func benchCmd(args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	workersFlag := fs.String("workers", "", "comma-separated worker counts to sweep (default 1,2,NumCPU)")
+	out := fs.String("out", "BENCH_parallel.json", "output JSON file (- for stdout)")
+	fs.Parse(args)
+	counts, err := parseWorkerList(*workersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+
+	report := benchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "outputs are bit-identical at every worker count; speedup needs " +
+			"num_cpu > 1 — on a single-core host the sweep measures pool overhead only",
+	}
+
+	// Bootstrap-scale workload: 17 Q-limbs, the full modRaise → CoeffToSlot
+	// → EvalMod → SlotToCoeff pipeline.
+	fmt.Fprintln(os.Stderr, "bench: measuring bootstrap workload ...")
+	btp, ct, logN, limbs := benchBootSetup()
+	wl := benchWorkload{Name: "bootstrap", LogN: logN, Limbs: limbs}
+	for _, w := range counts {
+		btp.SetWorkers(w)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = btp.Bootstrap(ct)
+			}
+		})
+		wl.Results = append(wl.Results, benchResult{Workers: w, Iters: r.N, NsPerOp: r.NsPerOp()})
+		fmt.Fprintf(os.Stderr, "bench: bootstrap workers=%d %d ns/op (%d iters)\n", w, r.NsPerOp(), r.N)
+	}
+	fillSpeedups(&wl)
+	report.Workloads = append(report.Workloads, wl)
+
+	// Hoisted-rotation workload: 8 rotations sharing one decomposition at
+	// N = 2^12 — the CoeffToSlot/SlotToCoeff inner kernel in isolation.
+	fmt.Fprintln(os.Stderr, "bench: measuring rotate_hoisted workload ...")
+	ev, rct, steps, rLogN, rLimbs := benchRotateSetup()
+	rl := benchWorkload{Name: "rotate_hoisted", LogN: rLogN, Limbs: rLimbs}
+	for _, w := range counts {
+		ev.SetWorkers(w)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = ev.RotateHoisted(rct, steps)
+			}
+		})
+		rl.Results = append(rl.Results, benchResult{Workers: w, Iters: r.N, NsPerOp: r.NsPerOp()})
+		fmt.Fprintf(os.Stderr, "bench: rotate_hoisted workers=%d %d ns/op (%d iters)\n", w, r.NsPerOp(), r.N)
+	}
+	fillSpeedups(&rl)
+	report.Workloads = append(report.Workloads, rl)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote benchmark report to %s\n", *out)
+}
+
+// fillSpeedups normalizes each measurement against the workload's
+// workers=1 run (or the smallest measured count if 1 was excluded).
+func fillSpeedups(wl *benchWorkload) {
+	if len(wl.Results) == 0 {
+		return
+	}
+	base := float64(wl.Results[0].NsPerOp)
+	for i := range wl.Results {
+		wl.Results[i].Speedup = base / float64(wl.Results[i].NsPerOp)
+	}
+}
+
+func benchBootSetup() (*bootstrap.Bootstrapper, *ckks.Ciphertext, int, int) {
+	logQ := []int{48}
+	for i := 0; i < 16; i++ {
+		logQ = append(logQ, 40)
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN: 10, LogQ: logQ, LogP: []int{50, 50, 50}, LogScale: 40,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	var seed [prng.SeedSize]byte
+	copy(seed[:], "simfhe bench deterministic seed")
+	src := prng.NewSource(seed)
+	kg := ckks.NewKeyGenerator(params, src)
+	sk := kg.GenSecretKeySparse(16)
+	btp, err := bootstrap.NewBootstrapper(params, bootstrap.DefaultParameters(), sk, src, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	enc := ckks.NewEncoder(params)
+	ct := ckks.NewSecretKeyEncryptor(params, sk, src).Encrypt(enc.Encode(make([]complex128, params.Slots())))
+	ct = btp.Evaluator().DropLevel(ct, 0)
+	return btp, ct, 10, len(logQ)
+}
+
+func benchRotateSetup() (*ckks.Evaluator, *ckks.Ciphertext, []int, int, int) {
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN:     12,
+		LogQ:     []int{50, 40, 40, 40, 40, 40},
+		LogP:     []int{50, 50},
+		LogScale: 40,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	var seed [prng.SeedSize]byte
+	copy(seed[:], "simfhe bench deterministic seed")
+	src := prng.NewSource(seed)
+	kg := ckks.NewKeyGenerator(params, src)
+	sk := kg.GenSecretKey()
+	steps := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	gks := kg.GenRotationKeys(steps, sk, false)
+	ev := ckks.NewEvaluator(params, &ckks.EvaluationKeySet{Galois: gks})
+	enc := ckks.NewEncoder(params)
+	ct := ckks.NewSecretKeyEncryptor(params, sk, src).Encrypt(enc.Encode(make([]complex128, params.Slots())))
+	return ev, ct, steps, 12, 6
+}

@@ -11,6 +11,9 @@
 //	                         one bootstrap, phase by phase
 //	simfhe cost              §4.4 performance vs area/cost trade-off
 //	simfhe sweep [-axis=fftiter] sensitivity sweep around the optimal point
+//	simfhe bench [-workers=1,2,4] [-out=BENCH_parallel.json]
+//	                         measure the functional library across evaluator
+//	                         worker counts, writing machine-readable JSON
 //	simfhe ai                Table 4 on a roofline (ridge points, utilization)
 //	simfhe json              every experiment as a machine-readable report
 //	simfhe run <file>        run a schedule DSL file through the model
@@ -101,6 +104,8 @@ func run(cmd string, args []string) {
 		traceCmd(args)
 	case "sweep":
 		sweep(args)
+	case "bench":
+		benchCmd(args)
 	case "ai":
 		aiRoofline()
 	case "json":
@@ -124,8 +129,9 @@ func run(cmd string, args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: simfhe [-debug-addr ADDR] {table4|fig2|fig3|table5|table6|fig6|boot|cost|run|trace|sweep|ai|json|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: simfhe [-debug-addr ADDR] {table4|fig2|fig3|table5|table6|fig6|boot|cost|run|trace|sweep|bench|ai|json|all} [flags]")
 	fmt.Fprintln(os.Stderr, "  run/boot/trace accept -trace-out FILE (Chrome trace JSON) and -metrics-out FILE (Prometheus text)")
+	fmt.Fprintln(os.Stderr, "  bench [-workers 1,2,4] [-out FILE] measures the functional library across worker counts (JSON)")
 }
 
 // refMachine is the paper's 32 MB reference system (8192 modular

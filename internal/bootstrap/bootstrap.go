@@ -7,6 +7,7 @@ import (
 	"repro/internal/ckks"
 	"repro/internal/obs"
 	"repro/internal/prng"
+	"repro/internal/ring"
 )
 
 // Parameters configures the bootstrapping pipeline (Algorithm 4).
@@ -132,6 +133,11 @@ func (b *Bootstrapper) Evaluator() *ckks.Evaluator { return b.ev }
 // carrying the ckks.* counter deltas accumulated inside the phase.
 func (b *Bootstrapper) SetRecorder(r *obs.Recorder) { b.ev.SetRecorder(r) }
 
+// SetWorkers sets the parallelism budget of the underlying evaluator
+// (n ≤ 0 selects GOMAXPROCS); the refreshed ciphertexts are bit-identical
+// for every worker count.
+func (b *Bootstrapper) SetWorkers(n int) { b.ev.SetWorkers(n) }
+
 // modRaise reinterprets a level-0 ciphertext in the full modulus chain:
 // each coefficient v ∈ [0, q_0) is lifted centered to every limb. The
 // underlying plaintext becomes Δ·m + q_0·k for a small integer polynomial
@@ -153,20 +159,23 @@ func (b *Bootstrapper) modRaise(ct *ckks.Ciphertext) *ckks.Ciphertext {
 		}
 		tmp := inP.CopyNew()
 		rQ0.INTTPoly(tmp)
-		for j := 0; j < p.N(); j++ {
-			v := tmp.Coeffs[0][j]
-			for i := 0; i <= L; i++ {
-				qi := p.Q()[i]
-				if v > half {
-					// negative representative: v − q0
-					outP.Coeffs[i][j] = (qi - (q0-v)%qi) % qi
-				} else {
-					outP.Coeffs[i][j] = v % qi
+		workers := b.ev.Workers()
+		ring.ParallelChunked(p.N(), workers, func(_, start, end int) {
+			for j := start; j < end; j++ {
+				v := tmp.Coeffs[0][j]
+				for i := 0; i <= L; i++ {
+					qi := p.Q()[i]
+					if v > half {
+						// negative representative: v − q0
+						outP.Coeffs[i][j] = (qi - (q0-v)%qi) % qi
+					} else {
+						outP.Coeffs[i][j] = v % qi
+					}
 				}
 			}
-		}
+		})
 		outP.IsNTT = false
-		rQL.NTTPoly(outP)
+		rQL.NTTPolyParallel(outP, workers)
 	}
 	return out
 }

@@ -3,6 +3,7 @@ package ckks
 import (
 	"fmt"
 	"math"
+	"runtime"
 
 	"repro/internal/mathutil"
 	"repro/internal/obs"
@@ -20,6 +21,11 @@ type Evaluator struct {
 	keys   *EvaluationKeySet
 	iMono  map[int]*ring.Poly // cached NTT(X^{N/2}) per level (see MulByI)
 
+	// workers is the parallelism budget for the limb-, digit- and
+	// rotation-level fan-outs (1 = serial; set via WithWorkers/SetWorkers).
+	// Results are bit-identical for every worker count.
+	workers int
+
 	// rec, when non-nil, receives a span per primitive ("ckks.Mult",
 	// "ckks.KeySwitch", "ckks.Rescale", …) and the counters "ckks.ntt"
 	// (limb-sized (i)NTT invocations, counted analytically at the
@@ -29,21 +35,70 @@ type Evaluator struct {
 	rec *obs.Recorder
 }
 
+// EvaluatorOption configures an Evaluator at construction time.
+type EvaluatorOption func(*Evaluator)
+
+// WithWorkers sets the evaluator's worker count (see SetWorkers).
+func WithWorkers(n int) EvaluatorOption {
+	return func(ev *Evaluator) { ev.SetWorkers(n) }
+}
+
 // NewEvaluator returns an evaluator with the given keys. The key set (or
 // individual keys in it) may be nil if the corresponding operations are
-// never used.
-func NewEvaluator(params *Parameters, keys *EvaluationKeySet) *Evaluator {
+// never used. By default the evaluator is serial; pass WithWorkers to
+// enable limb-level parallelism.
+func NewEvaluator(params *Parameters, keys *EvaluationKeySet, opts ...EvaluatorOption) *Evaluator {
 	if keys == nil {
 		keys = &EvaluationKeySet{}
 	}
-	return &Evaluator{params: params, keys: keys}
+	ev := &Evaluator{params: params, keys: keys, workers: 1}
+	for _, opt := range opts {
+		opt(ev)
+	}
+	return ev
 }
 
 // Params returns the evaluator's parameter set.
 func (ev *Evaluator) Params() *Parameters { return ev.params }
 
+// SetWorkers sets the parallelism budget for basis conversions, key-switch
+// inner products and hoisted-rotation fan-outs. n ≤ 0 selects GOMAXPROCS.
+// Every worker count produces bit-identical ciphertexts; the knob trades
+// cores for latency only.
+func (ev *Evaluator) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	ev.workers = n
+	ev.rec.SetGauge("ckks.workers", float64(n))
+}
+
+// Workers returns the evaluator's current worker count.
+func (ev *Evaluator) Workers() int { return ev.workers }
+
+// splitWorkers divides a worker budget between an outer fan-out over
+// `tasks` independent items and the per-item inner (limb-level)
+// parallelism, preferring the outer axis: fan-out parallelism has no
+// synchronization points, whereas limb parallelism joins at every
+// conversion step.
+func splitWorkers(workers, tasks int) (outer, inner int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || tasks <= 1 {
+		return 1, workers
+	}
+	if tasks >= workers {
+		return workers, 1
+	}
+	return tasks, (workers + tasks - 1) / tasks
+}
+
 // SetRecorder attaches an observability recorder (nil detaches it).
-func (ev *Evaluator) SetRecorder(r *obs.Recorder) { ev.rec = r }
+func (ev *Evaluator) SetRecorder(r *obs.Recorder) {
+	ev.rec = r
+	r.SetGauge("ckks.workers", float64(ev.workers))
+}
 
 // Recorder returns the attached recorder, which may be nil.
 func (ev *Evaluator) Recorder() *obs.Recorder { return ev.rec }
@@ -215,8 +270,8 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 	// Rescale truncates the output slice itself; hand it full-size polys.
 	out.C0.Coeffs = out.C0.Coeffs[:level]
 	out.C1.Coeffs = out.C1.Coeffs[:level]
-	conv.Rescale(level, ct.C0, out.C0)
-	conv.Rescale(level, ct.C1, out.C1)
+	conv.Rescale(level, ct.C0, out.C0, ev.workers)
+	conv.Rescale(level, ct.C1, out.C1, ev.workers)
 	return out
 }
 
@@ -234,7 +289,8 @@ func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) *Ciphertext {
 }
 
 // digit returns digit j of the switching key, expanding (and caching) the
-// pseudorandom half when the key is compressed.
+// pseudorandom half when the key is compressed. The memoizing write is not
+// goroutine-safe: parallel paths must call expandDigits first.
 func (ev *Evaluator) digit(swk *SwitchingKey, j int) KSKDigit {
 	d := swk.Digits[j]
 	if d.A.Q == nil {
@@ -247,63 +303,116 @@ func (ev *Evaluator) digit(swk *SwitchingKey, j int) KSKDigit {
 	return d
 }
 
+// expandDigits forces the expansion of the first beta digits of a
+// compressed switching key on the calling goroutine, so that concurrent
+// readers afterwards see only immutable key material.
+func (ev *Evaluator) expandDigits(swk *SwitchingKey, beta int) {
+	for j := 0; j < beta; j++ {
+		ev.digit(swk, j)
+	}
+}
+
+// getZeroPolyQP draws a pooled raised polynomial, zeroed and flagged NTT,
+// ready to serve as a key-switch accumulator.
+func (ev *Evaluator) getZeroPolyQP(level int) rns.PolyQP {
+	p := ev.params.Converter().GetPolyQP(level)
+	p.Q.Zero()
+	p.P.Zero()
+	p.Q.IsNTT, p.P.IsNTT = true, true
+	return p
+}
+
 // decomposeModUp performs the Decomp + ModUp front half of KeySwitch
 // (Algorithm 3 lines 1–2): it splits x into β digits and raises each to
 // the Q∪P basis. The result can be reused across many automorphisms —
-// this is exactly the standard "ModUp hoisting" for rotations.
-func (ev *Evaluator) decomposeModUp(level int, x *ring.Poly) []rns.PolyQP {
+// this is exactly the standard "ModUp hoisting" for rotations. The digits
+// are drawn from the converter's pool; release them with putDigits.
+func (ev *Evaluator) decomposeModUp(level int, x *ring.Poly, workers int) []rns.PolyQP {
 	p := ev.params
 	conv := p.Converter()
 	alpha := p.Alpha()
 	beta := p.Beta(level)
 	digits := make([]rns.PolyQP, beta)
 	for j := 0; j < beta; j++ {
+		digits[j] = conv.GetPolyQP(level)
+	}
+	outer, inner := splitWorkers(workers, beta)
+	ring.Parallel(beta, outer, func(j int) {
 		start := j * alpha
 		end := min(start+alpha, level+1)
-		digits[j] = conv.NewPolyQP(level)
-		conv.ModUpDigit(level, start, end, x, digits[j])
-	}
+		conv.ModUpDigit(level, start, end, x, digits[j], inner)
+	})
 	// Per digit: iNTT of the digit limbs plus a forward NTT of every
 	// generated limb — together exactly level+1+kP transforms.
 	ev.rec.Add("ckks.ntt", uint64(beta*(level+1+ev.kP())))
 	return digits
 }
 
+// putDigits returns a digit slice from decomposeModUp to the pool.
+func (ev *Evaluator) putDigits(digits []rns.PolyQP) {
+	conv := ev.params.Converter()
+	for j := range digits {
+		conv.PutPolyQP(digits[j])
+	}
+}
+
 // kskInnerProduct accumulates Σ_j ksk_j ⊙ digits_j into the raised
-// accumulator pair (u, v) — Algorithm 3 line 3.
-func (ev *Evaluator) kskInnerProduct(level int, digits []rns.PolyQP, swk *SwitchingKey, u, v rns.PolyQP) {
+// accumulator pair (u, v) — Algorithm 3 line 3. The parallel split is over
+// limbs, with the digit loop innermost per limb: every accumulator word
+// sees the digits in the same ascending order as the serial code, so the
+// result is bit-identical for any worker count.
+func (ev *Evaluator) kskInnerProduct(level int, digits []rns.PolyQP, swk *SwitchingKey, u, v rns.PolyQP, workers int) {
 	p := ev.params
 	rQ := p.RingQ().AtLevel(level)
 	rP := p.RingP()
+	n := rQ.N
+	nQ := level + 1
+	nP := len(rP.Moduli)
+	// Resolve (and, for compressed keys, expand) all digits serially before
+	// fanning out: ev.digit mutates the key on first use.
+	ds := make([]KSKDigit, len(digits))
 	for j := range digits {
-		d := ev.digit(swk, j)
-		rQ.MulCoeffsThenAdd(d.B.Q, digits[j].Q, u.Q)
-		rP.MulCoeffsThenAdd(d.B.P, digits[j].P, u.P)
-		rQ.MulCoeffsThenAdd(d.A.Q, digits[j].Q, v.Q)
-		rP.MulCoeffsThenAdd(d.A.P, digits[j].P, v.P)
+		ds[j] = ev.digit(swk, j)
 	}
+	ring.Parallel(nQ+nP, workers, func(i int) {
+		if i < nQ {
+			s := rQ.SubRings[i]
+			for j := range digits {
+				s.MulThenAddVec(ds[j].B.Q.Coeffs[i][:n], digits[j].Q.Coeffs[i][:n], u.Q.Coeffs[i][:n])
+				s.MulThenAddVec(ds[j].A.Q.Coeffs[i][:n], digits[j].Q.Coeffs[i][:n], v.Q.Coeffs[i][:n])
+			}
+		} else {
+			k := i - nQ
+			s := rP.SubRings[k]
+			for j := range digits {
+				s.MulThenAddVec(ds[j].B.P.Coeffs[k][:n], digits[j].P.Coeffs[k][:n], u.P.Coeffs[k][:n])
+				s.MulThenAddVec(ds[j].A.P.Coeffs[k][:n], digits[j].P.Coeffs[k][:n], v.P.Coeffs[k][:n])
+			}
+		}
+	})
+	u.Q.IsNTT, u.P.IsNTT = true, true
+	v.Q.IsNTT, v.P.IsNTT = true, true
 }
 
 // keySwitchRaised runs Algorithm 3 up to (but not including) the final
 // ModDown: it returns the raised pair (u, v) = ⟦P·x·w⟧ over R²_{PQ},
 // the "very important intermediate value" the MAD algorithmic
-// optimizations operate on directly.
+// optimizations operate on directly. The returned pair is pooled; the
+// caller must release it with Converter().PutPolyQP when done.
 func (ev *Evaluator) keySwitchRaised(level int, x *ring.Poly, swk *SwitchingKey) (u, v rns.PolyQP) {
 	if err := ev.params.checkKeyLevels(swk); err != nil {
 		panic(err)
 	}
-	conv := ev.params.Converter()
-	u = conv.NewPolyQP(level)
-	v = conv.NewPolyQP(level)
-	u.Q.IsNTT, u.P.IsNTT = true, true
-	v.Q.IsNTT, v.P.IsNTT = true, true
-	digits := ev.decomposeModUp(level, x)
-	ev.kskInnerProduct(level, digits, swk, u, v)
+	u = ev.getZeroPolyQP(level)
+	v = ev.getZeroPolyQP(level)
+	digits := ev.decomposeModUp(level, x, ev.workers)
+	ev.kskInnerProduct(level, digits, swk, u, v, ev.workers)
+	ev.putDigits(digits)
 	return u, v
 }
 
 // keySwitchDown applies the two ModDowns of Algorithm 3 line 4.
-func (ev *Evaluator) keySwitchDown(level int, u, v rns.PolyQP) (p0, p1 *ring.Poly) {
+func (ev *Evaluator) keySwitchDown(level int, u, v rns.PolyQP, workers int) (p0, p1 *ring.Poly) {
 	// Per ModDown: kP iNTTs of the P limbs plus level+1 forward NTTs of
 	// the correction limbs. Every key switch funnels through here, so the
 	// keyswitch counter lives here too.
@@ -313,8 +422,8 @@ func (ev *Evaluator) keySwitchDown(level int, u, v rns.PolyQP) (p0, p1 *ring.Pol
 	conv := ev.params.Converter()
 	rQ := ev.params.RingQ().AtLevel(level)
 	p0, p1 = rQ.NewPoly(), rQ.NewPoly()
-	conv.ModDown(level, u, p0)
-	conv.ModDown(level, v, p1)
+	conv.ModDown(level, u, p0, workers)
+	conv.ModDown(level, v, p1, workers)
 	return p0, p1
 }
 
@@ -323,7 +432,11 @@ func (ev *Evaluator) KeySwitch(level int, x *ring.Poly, swk *SwitchingKey) (p0, 
 	sp := ev.rec.StartSpan("ckks.KeySwitch")
 	defer sp.End()
 	u, v := ev.keySwitchRaised(level, x, swk)
-	return ev.keySwitchDown(level, u, v)
+	p0, p1 = ev.keySwitchDown(level, u, v, ev.workers)
+	conv := ev.params.Converter()
+	conv.PutPolyQP(u)
+	conv.PutPolyQP(v)
+	return p0, p1
 }
 
 // MulRelin returns ct0·ct1, relinearized with the evaluator's
@@ -416,19 +529,59 @@ func (ev *Evaluator) automorphismPolyQP(level int, a rns.PolyQP, g uint64) rns.P
 	return out
 }
 
+// rotateFromDigits applies one hoisted rotation step given the shared
+// raised digits of c1: rotate the digits, run the key-switch inner product
+// and ModDown, and recombine with the rotated c0. All scratch is pooled.
+// Callers fanning steps out in parallel must pre-expand the Galois key's
+// digits (expandDigits) first.
+func (ev *Evaluator) rotateFromDigits(level int, ct *Ciphertext, digits []rns.PolyQP, g uint64, gk *GaloisKey, workers int) *Ciphertext {
+	p := ev.params
+	rQ := p.RingQ().AtLevel(level)
+	rP := p.RingP()
+	conv := p.Converter()
+
+	rot := make([]rns.PolyQP, len(digits))
+	for j := range digits {
+		rot[j] = conv.GetPolyQP(level)
+		rQ.AutomorphismNTT(digits[j].Q, g, rot[j].Q)
+		rP.AutomorphismNTT(digits[j].P, g, rot[j].P)
+	}
+	u := ev.getZeroPolyQP(level)
+	v := ev.getZeroPolyQP(level)
+	ev.kskInnerProduct(level, rot, &gk.SwitchingKey, u, v, workers)
+	for j := range rot {
+		conv.PutPolyQP(rot[j])
+	}
+	p0, p1 := ev.keySwitchDown(level, u, v, workers)
+	conv.PutPolyQP(u)
+	conv.PutPolyQP(v)
+
+	c0r := rQ.NewPoly()
+	rQ.AutomorphismNTT(ct.C0, g, c0r)
+	res := &Ciphertext{C0: rQ.NewPoly(), C1: p1, Scale: ct.Scale, Level: level}
+	rQ.Add(c0r, p0, res.C0)
+	return res
+}
+
 // RotateHoisted rotates one ciphertext by many steps, sharing a single
 // Decomp + ModUp across all of them (the standard ModUp hoisting of
 // Halevi–Shoup/GAZELLE referenced in §3.2). The map includes step 0 as a
-// copy when requested.
+// copy when requested. The steps are independent of each other, so the
+// worker budget fans out across them first and falls back to limb-level
+// parallelism inside each step.
 func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphertext {
 	sp := ev.rec.StartSpan("ckks.RotateHoisted")
 	defer sp.End()
 	level := ct.Level
-	rQ := ev.params.RingQ().AtLevel(level)
-	conv := ev.params.Converter()
-	digits := ev.decomposeModUp(level, ct.C1)
+	digits := ev.decomposeModUp(level, ct.C1, ev.workers)
 
+	type stepJob struct {
+		k  int
+		g  uint64
+		gk *GaloisKey
+	}
 	out := make(map[int]*Ciphertext, len(steps))
+	var jobs []stepJob
 	for _, k := range steps {
 		g := ev.params.RingQ().GaloisElement(k)
 		if g == 1 {
@@ -437,23 +590,20 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 		}
 		ev.rec.Add("ckks.rotate", 1)
 		gk := ev.galoisKey(g)
-		u := conv.NewPolyQP(level)
-		v := conv.NewPolyQP(level)
-		u.Q.IsNTT, u.P.IsNTT = true, true
-		v.Q.IsNTT, v.P.IsNTT = true, true
-		rot := make([]rns.PolyQP, len(digits))
-		for j := range digits {
-			rot[j] = ev.automorphismPolyQP(level, digits[j], g)
-		}
-		ev.kskInnerProduct(level, rot, &gk.SwitchingKey, u, v)
-		p0, p1 := ev.keySwitchDown(level, u, v)
-
-		c0r := rQ.NewPoly()
-		rQ.AutomorphismNTT(ct.C0, g, c0r)
-		res := &Ciphertext{C0: rQ.NewPoly(), C1: p1, Scale: ct.Scale, Level: level}
-		rQ.Add(c0r, p0, res.C0)
-		out[k] = res
+		ev.expandDigits(&gk.SwitchingKey, len(digits))
+		jobs = append(jobs, stepJob{k: k, g: g, gk: gk})
 	}
+
+	outer, inner := splitWorkers(ev.workers, len(jobs))
+	results := make([]*Ciphertext, len(jobs))
+	ring.Parallel(len(jobs), outer, func(idx int) {
+		j := jobs[idx]
+		results[idx] = ev.rotateFromDigits(level, ct, digits, j.g, j.gk, inner)
+	})
+	for idx, j := range jobs {
+		out[j.k] = results[idx]
+	}
+	ev.putDigits(digits)
 	return out
 }
 

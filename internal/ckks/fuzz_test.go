@@ -1,0 +1,95 @@
+package ckks
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzSeedCiphertext serializes a genuine ciphertext for the seed corpus.
+func fuzzSeedCiphertext(f *testing.F) []byte {
+	tc := newTestContext(f)
+	ct := tc.encSk.Encrypt(tc.enc.Encode(randomValues(tc.params.Slots(), 1)))
+	var buf bytes.Buffer
+	if _, err := ct.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzCiphertextReadFrom checks that hostile or truncated ciphertext
+// streams never panic, that header/limb mismatches are rejected, and that
+// accepted inputs re-serialize to the exact bytes consumed.
+func FuzzCiphertextReadFrom(f *testing.F) {
+	good := fuzzSeedCiphertext(f)
+	f.Add(good)
+	f.Add(good[:len(good)/2]) // truncated mid-polynomial
+	f.Add(good[:16])          // header only
+	// Header claiming a level that disagrees with the first polynomial.
+	mismatched := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint16(mismatched[2:], 7)
+	f.Add(mismatched)
+	// Absurd level.
+	huge := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint16(huge[2:], 0xffff)
+	f.Add(huge)
+	// NaN scale.
+	nan := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint64(nan[8:], 0x7ff8000000000001)
+	f.Add(nan)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var ct Ciphertext
+		n, err := ct.ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if n > int64(len(data)) {
+			t.Fatalf("ReadFrom claims %d bytes from a %d-byte input", n, len(data))
+		}
+		if ct.C0.Level() != ct.Level || ct.C1.Level() != ct.Level {
+			t.Fatal("accepted ciphertext with inconsistent limb counts")
+		}
+		var out bytes.Buffer
+		if _, err := ct.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialization of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:n]) {
+			t.Fatal("accepted input does not round-trip byte-identically")
+		}
+	})
+}
+
+// FuzzReadSwitchingKey checks that arbitrary switching-key streams never
+// panic and accepted ones re-serialize to the bytes consumed.
+func FuzzReadSwitchingKey(f *testing.F) {
+	tc := newTestContext(f)
+	for _, compressed := range []bool{false, true} {
+		rlk := tc.kg.GenRelinearizationKey(tc.sk, compressed)
+		var buf bytes.Buffer
+		if _, err := rlk.SwitchingKey.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/3])
+	}
+	f.Add([]byte{1, 0, 0xff, 0xff, 0, 0, 0, 0}) // implausible digit count
+	f.Add([]byte{1, 1, 1, 0, 0, 0, 0, 0})       // compressed, truncated
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, n, err := ReadSwitchingKey(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if n > int64(len(data)) {
+			t.Fatalf("ReadSwitchingKey claims %d bytes from a %d-byte input", n, len(data))
+		}
+		var out bytes.Buffer
+		if _, err := k.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialization of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:n]) {
+			t.Fatal("accepted input does not round-trip byte-identically")
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/ring"
 	"repro/internal/rns"
 )
 
@@ -198,6 +199,11 @@ func (ev *Evaluator) evalLinearTransformNaive(ct *Ciphertext, lt *LinearTransfor
 // basis changes total, regardless of the number of diagonals.
 //
 // The transform must have been built with raised = true.
+//
+// The diagonal loop fans out across workers with one raised accumulator
+// pair per worker, merged serially in worker order afterwards. Modular
+// addition is exact, associative and commutative, so this regrouping of
+// the sum is bit-identical to the serial left-to-right accumulation.
 func (ev *Evaluator) EvalLinearTransformHoistedModDown(ct *Ciphertext, lt *LinearTransform) *Ciphertext {
 	if lt.QP == nil {
 		panic("ckks: transform was not encoded for the raised basis (pass raised=true)")
@@ -209,12 +215,7 @@ func (ev *Evaluator) EvalLinearTransformHoistedModDown(ct *Ciphertext, lt *Linea
 	conv := p.Converter()
 
 	// One hoisted Decomp + ModUp for every rotation (Figure 5(c) left box).
-	digits := ev.decomposeModUp(level, ct.C1)
-
-	accU := conv.NewPolyQP(level)
-	accV := conv.NewPolyQP(level)
-	accU.Q.IsNTT, accU.P.IsNTT = true, true
-	accV.Q.IsNTT, accV.P.IsNTT = true, true
+	digits := ev.decomposeModUp(level, ct.C1, ev.workers)
 
 	steps := make([]int, 0, len(lt.QP))
 	for d := range lt.QP {
@@ -222,42 +223,114 @@ func (ev *Evaluator) EvalLinearTransformHoistedModDown(ct *Ciphertext, lt *Linea
 	}
 	sort.Ints(steps)
 
-	for _, d := range steps {
-		pt := lt.QP[d]
-		var u, v rns.PolyQP
-		if d == 0 {
-			// Unrotated term: lift both halves with the free PModUp.
-			u = conv.NewPolyQP(level)
-			v = conv.NewPolyQP(level)
-			conv.PModUp(level, ct.C0, u)
-			conv.PModUp(level, ct.C1, v)
-		} else {
+	// Resolve Galois keys and expand any compressed key material on this
+	// goroutine before fanning out: key lookup panics are only useful here,
+	// and digit expansion mutates the keys.
+	type hoistJob struct {
+		d  int
+		g  uint64
+		gk *GaloisKey
+	}
+	jobs := make([]hoistJob, len(steps))
+	for i, d := range steps {
+		jobs[i] = hoistJob{d: d}
+		if d != 0 {
 			g := rQ.GaloisElement(d)
 			gk := ev.galoisKey(g)
-			u = conv.NewPolyQP(level)
-			v = conv.NewPolyQP(level)
-			u.Q.IsNTT, u.P.IsNTT = true, true
-			v.Q.IsNTT, v.P.IsNTT = true, true
-			rot := make([]rns.PolyQP, len(digits))
-			for j := range digits {
-				rot[j] = ev.automorphismPolyQP(level, digits[j], g)
-			}
-			ev.kskInnerProduct(level, rot, &gk.SwitchingKey, u, v)
-			// Add P·σ(c0) to the u half so (u, v) is the raised rotation.
-			c0r := rQ.NewPoly()
-			rQ.AutomorphismNTT(ct.C0, g, c0r)
-			lifted := conv.NewPolyQP(level)
-			conv.PModUp(level, c0r, lifted)
-			rQ.Add(u.Q, lifted.Q, u.Q)
+			ev.expandDigits(&gk.SwitchingKey, len(digits))
+			jobs[i].g, jobs[i].gk = g, gk
 		}
-		// Diagonal multiply and accumulate — still in the raised basis.
-		rQ.MulCoeffsThenAdd(pt.Q, u.Q, accU.Q)
-		rP.MulCoeffsThenAdd(pt.P, u.P, accU.P)
-		rQ.MulCoeffsThenAdd(pt.Q, v.Q, accV.Q)
-		rP.MulCoeffsThenAdd(pt.P, v.P, accV.P)
+	}
+
+	outer, inner := splitWorkers(ev.workers, len(steps))
+	accUs := make([]rns.PolyQP, outer)
+	accVs := make([]rns.PolyQP, outer)
+	used := make([]bool, outer)
+	ring.ParallelChunked(len(steps), outer, func(w, start, end int) {
+		accU := ev.getZeroPolyQP(level)
+		accV := ev.getZeroPolyQP(level)
+		for idx := start; idx < end; idx++ {
+			job := jobs[idx]
+			pt := lt.QP[job.d]
+			u, v := ev.hoistedStepRaised(level, ct, digits, job.d, job.g, job.gk, inner)
+			// Diagonal multiply and accumulate — still in the raised basis.
+			rQ.MulCoeffsThenAdd(pt.Q, u.Q, accU.Q)
+			rP.MulCoeffsThenAdd(pt.P, u.P, accU.P)
+			rQ.MulCoeffsThenAdd(pt.Q, v.Q, accV.Q)
+			rP.MulCoeffsThenAdd(pt.P, v.P, accV.P)
+			conv.PutPolyQP(u)
+			conv.PutPolyQP(v)
+		}
+		accUs[w], accVs[w], used[w] = accU, accV, true
+	})
+	ev.putDigits(digits)
+
+	// Merge the per-worker partial sums in worker (= step) order.
+	var accU, accV rns.PolyQP
+	merged := false
+	for w := range accUs {
+		if !used[w] {
+			continue
+		}
+		if !merged {
+			accU, accV, merged = accUs[w], accVs[w], true
+			continue
+		}
+		rQ.Add(accU.Q, accUs[w].Q, accU.Q)
+		rP.Add(accU.P, accUs[w].P, accU.P)
+		rQ.Add(accV.Q, accVs[w].Q, accV.Q)
+		rP.Add(accV.P, accVs[w].P, accV.P)
+		conv.PutPolyQP(accUs[w])
+		conv.PutPolyQP(accVs[w])
+	}
+	if !merged { // no diagonals: the transform is the zero map
+		accU = ev.getZeroPolyQP(level)
+		accV = ev.getZeroPolyQP(level)
 	}
 
 	// The two hoisted ModDowns (Figure 5(c) right box).
-	p0, p1 := ev.keySwitchDown(level, accU, accV)
+	p0, p1 := ev.keySwitchDown(level, accU, accV, ev.workers)
+	conv.PutPolyQP(accU)
+	conv.PutPolyQP(accV)
 	return &Ciphertext{C0: p0, C1: p1, Scale: ct.Scale * lt.Scale, Level: level}
+}
+
+// hoistedStepRaised produces the raised pair (u, v) for one diagonal of
+// the hoisted-ModDown schedule: for d == 0 the PModUp lift of the input
+// ciphertext, otherwise the rotated key-switch product with P·σ(c0) folded
+// into the u half. The returned pair is pooled; release with PutPolyQP.
+func (ev *Evaluator) hoistedStepRaised(level int, ct *Ciphertext, digits []rns.PolyQP, d int, g uint64, gk *GaloisKey, workers int) (u, v rns.PolyQP) {
+	p := ev.params
+	rQ := p.RingQ().AtLevel(level)
+	rP := p.RingP()
+	conv := p.Converter()
+	if d == 0 {
+		// Unrotated term: lift both halves with the free PModUp.
+		u = conv.GetPolyQP(level)
+		v = conv.GetPolyQP(level)
+		conv.PModUp(level, ct.C0, u, workers)
+		conv.PModUp(level, ct.C1, v, workers)
+		return u, v
+	}
+	u = ev.getZeroPolyQP(level)
+	v = ev.getZeroPolyQP(level)
+	rot := make([]rns.PolyQP, len(digits))
+	for j := range digits {
+		rot[j] = conv.GetPolyQP(level)
+		rQ.AutomorphismNTT(digits[j].Q, g, rot[j].Q)
+		rP.AutomorphismNTT(digits[j].P, g, rot[j].P)
+	}
+	ev.kskInnerProduct(level, rot, &gk.SwitchingKey, u, v, workers)
+	for j := range rot {
+		conv.PutPolyQP(rot[j])
+	}
+	// Add P·σ(c0) to the u half so (u, v) is the raised rotation.
+	c0r := rQ.GetScratch()
+	rQ.AutomorphismNTT(ct.C0, g, c0r)
+	lifted := conv.GetPolyQP(level)
+	conv.PModUp(level, c0r, lifted, workers)
+	rQ.Add(u.Q, lifted.Q, u.Q)
+	rQ.PutScratch(c0r)
+	conv.PutPolyQP(lifted)
+	return u, v
 }

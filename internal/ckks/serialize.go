@@ -52,11 +52,21 @@ func (ct *Ciphertext) ReadFrom(r io.Reader) (int64, error) {
 	if header[0] != ctFormatVersion {
 		return total, fmt.Errorf("ckks: unsupported ciphertext format version %d", header[0])
 	}
+	// Reserved bytes must be zero, or deserialize ∘ serialize is lossy.
+	if header[1] != 0 || header[4] != 0 || header[5] != 0 || header[6] != 0 || header[7] != 0 {
+		return total, fmt.Errorf("ckks: nonzero reserved ciphertext header bytes")
+	}
 	ct.Level = int(binary.LittleEndian.Uint16(header[2:]))
+	if ct.Level >= 1<<12 {
+		return total, fmt.Errorf("ckks: implausible ciphertext level %d", ct.Level)
+	}
 	ct.Scale = math.Float64frombits(binary.LittleEndian.Uint64(header[8:]))
 	if ct.Scale <= 0 || math.IsNaN(ct.Scale) || math.IsInf(ct.Scale, 0) {
 		return total, fmt.Errorf("ckks: implausible ciphertext scale %v", ct.Scale)
 	}
+	// Validate each polynomial against the header level as soon as it is
+	// read, so a limb-count mismatch is rejected before the second
+	// polynomial's payload is consumed at all.
 	ct.C0, ct.C1 = &ring.Poly{}, &ring.Poly{}
 	for _, p := range []*ring.Poly{ct.C0, ct.C1} {
 		m, err := p.ReadFrom(r)
@@ -64,9 +74,9 @@ func (ct *Ciphertext) ReadFrom(r io.Reader) (int64, error) {
 		if err != nil {
 			return total, err
 		}
-	}
-	if ct.C0.Level() != ct.C1.Level() || ct.C0.Level() != ct.Level {
-		return total, fmt.Errorf("ckks: ciphertext limb counts disagree with header level %d", ct.Level)
+		if p.Level() != ct.Level {
+			return total, fmt.Errorf("ckks: ciphertext limb counts disagree with header level %d", ct.Level)
+		}
 	}
 	return total, nil
 }
@@ -126,6 +136,9 @@ func ReadSwitchingKey(r io.Reader) (*SwitchingKey, int64, error) {
 	}
 	if header[0] != swkFormatVersion {
 		return nil, total, fmt.Errorf("ckks: unsupported switching-key format version %d", header[0])
+	}
+	if header[1]&^uint8(1) != 0 || header[4] != 0 || header[5] != 0 || header[6] != 0 || header[7] != 0 {
+		return nil, total, fmt.Errorf("ckks: nonzero reserved switching-key header bytes")
 	}
 	compressed := header[1]&1 == 1
 	digits := int(binary.LittleEndian.Uint16(header[2:]))

@@ -25,20 +25,28 @@ import (
 // ckks.* counters of the operation in flight.
 var recorder *obs.Recorder
 
+// workerCount is the evaluator parallelism selected by the leading
+// -workers flag: 1 is serial, ≤ 0 selects GOMAXPROCS. Results are
+// bit-identical regardless of the setting.
+var workerCount = 1
+
 // Run dispatches the subcommand. A leading -debug-addr ADDR serves
-// /debug/pprof and /metrics over HTTP for the duration of the command.
+// /debug/pprof and /metrics over HTTP for the duration of the command;
+// a leading -workers N parallelizes the evaluator across N goroutines.
 // Output goes to w; errors are returned.
 func Run(args []string, w io.Writer) error {
-	usageErr := fmt.Errorf("usage: fhe [-debug-addr ADDR] {keygen|encrypt|add|mul|rotate|sum|decrypt|info} [flags]")
+	usageErr := fmt.Errorf("usage: fhe [-debug-addr ADDR] [-workers N] {keygen|encrypt|add|mul|rotate|sum|decrypt|info} [flags]")
 	if len(args) == 0 {
 		return usageErr
 	}
 	global := flag.NewFlagSet("fhe", flag.ContinueOnError)
 	debugAddr := global.String("debug-addr", "", "serve /debug/pprof and /metrics on this address while the command runs")
+	workers := global.Int("workers", 1, "evaluator goroutines (0 = all cores); results are bit-identical at any setting")
 	global.SetOutput(io.Discard)
 	if err := global.Parse(args); err != nil {
 		return usageErr
 	}
+	workerCount = *workers
 	args = global.Args()
 	if len(args) == 0 {
 		return usageErr
@@ -153,7 +161,7 @@ func (k *keyDir) evaluator(needRotation int) (*ckks.Evaluator, error) {
 		}
 		keys.Galois[g] = &ckks.GaloisKey{GaloisEl: g, SwitchingKey: *gswk}
 	}
-	ev := ckks.NewEvaluator(k.params, keys)
+	ev := ckks.NewEvaluator(k.params, keys, ckks.WithWorkers(workerCount))
 	ev.SetRecorder(recorder)
 	return ev, nil
 }
@@ -459,7 +467,7 @@ func innerSum(args []string, w io.Writer) error {
 		g := k.params.RingQ().GaloisElement(step)
 		keys.Galois[g] = &ckks.GaloisKey{GaloisEl: g, SwitchingKey: *swk}
 	}
-	ev := ckks.NewEvaluator(k.params, keys)
+	ev := ckks.NewEvaluator(k.params, keys, ckks.WithWorkers(workerCount))
 	ev.SetRecorder(recorder)
 	res := ev.InnerSum(ct, *n)
 	if err := writeCt(*out, res); err != nil {

@@ -3,6 +3,7 @@ package fhecli
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -186,5 +187,38 @@ func TestInnerSumSubcommand(t *testing.T) {
 	// Non-power-of-two width rejected.
 	if _, err := run(t, "sum", "-dir", dir, "-n", "3", "-out", sum, ct); err == nil {
 		t.Error("sum with n=3 should fail")
+	}
+}
+
+// TestWorkersFlagBitIdentical checks that the leading -workers flag is
+// accepted and that a parallel evaluation writes the exact bytes the
+// serial one does (encryption is randomized, so only the deterministic
+// evaluate step is compared).
+func TestWorkersFlagBitIdentical(t *testing.T) {
+	dir := setupKeys(t)
+	tmp := filepath.Dir(dir)
+	ctA := filepath.Join(tmp, "a.bin")
+	if _, err := run(t, "encrypt", "-dir", dir, "-out", ctA, "1.5", "2.0"); err != nil {
+		t.Fatal(err)
+	}
+	serial := filepath.Join(tmp, "serial.bin")
+	if _, err := run(t, "mul", "-dir", dir, "-out", serial, ctA, ctA); err != nil {
+		t.Fatal(err)
+	}
+	par := filepath.Join(tmp, "par.bin")
+	if _, err := run(t, "-workers", "2", "mul", "-dir", dir, "-out", par, ctA, ctA); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { workerCount = 1 }()
+	a, err := os.ReadFile(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("-workers 2 product differs from the serial product")
 	}
 }

@@ -2,6 +2,7 @@ package ring
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mathutil"
 )
@@ -54,24 +55,45 @@ func (r *Ring) AutomorphismCoeffs(p *Poly, k uint64, out *Poly) {
 	out.IsNTT = false
 }
 
+// autoCache memoizes NTT-domain automorphism permutations. It is shared by
+// every AtLevel view of a Ring and may be hit from concurrent rotation
+// goroutines, so reads take an RLock and the first build of each table
+// upgrades to a write lock.
+type autoCache struct {
+	mu     sync.RWMutex
+	tables map[uint64][]int
+}
+
 // autoTable returns (building and caching on first use) the NTT-domain slot
 // permutation for the automorphism X → X^k. In the bit-reversed CT layout,
 // slot i holds the evaluation of the polynomial at ψ^{2·brv(i)+1}; the
 // automorphism therefore permutes slots without any arithmetic.
 func (r *Ring) autoTable(k uint64) []int {
-	if t, ok := r.autoTables[k]; ok {
+	c := r.auto
+	c.mu.RLock()
+	t, ok := c.tables[k]
+	c.mu.RUnlock()
+	if ok {
 		return t
 	}
 	m := uint64(2 * r.N)
 	logN := r.LogN
-	t := make([]int, r.N)
+	t = make([]int, r.N)
 	for i := 0; i < r.N; i++ {
 		e := 2*mathutil.BitReverse(uint64(i), logN) + 1
 		ek := e * k % m
 		j := mathutil.BitReverse((ek-1)/2, logN)
 		t[i] = int(j)
 	}
-	r.autoTables[k] = t
+	c.mu.Lock()
+	// A concurrent builder may have won the race; keep the first table so
+	// all callers share one backing array.
+	if prev, ok := c.tables[k]; ok {
+		t = prev
+	} else {
+		c.tables[k] = t
+	}
+	c.mu.Unlock()
 	return t
 }
 

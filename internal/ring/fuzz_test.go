@@ -1,0 +1,65 @@
+package ring
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzHeader builds a 12-byte polynomial header with the given shape.
+func fuzzHeader(version, flags uint8, limbs uint16, n uint32) []byte {
+	h := make([]byte, 12)
+	h[0] = version
+	h[1] = flags
+	binary.LittleEndian.PutUint16(h[2:], limbs)
+	binary.LittleEndian.PutUint32(h[4:], n)
+	return h
+}
+
+// FuzzPolyReadFrom drives Poly.ReadFrom with arbitrary byte streams. The
+// invariants: never panic, never allocate based on an unverified header
+// (truncated streams with huge claimed shapes must fail fast), and any
+// accepted input must re-serialize to exactly the bytes consumed.
+func FuzzPolyReadFrom(f *testing.F) {
+	r := testRing(f, 16, 2)
+	p := r.NewPoly()
+	for i := range p.Coeffs {
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = uint64(i*31+j) % r.Moduli[i]
+		}
+	}
+	p.IsNTT = true
+	var buf bytes.Buffer
+	if _, err := p.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:buf.Len()/2])                         // truncated payload
+	f.Add(fuzzHeader(1, 0, 1<<12, 1<<20))                    // max claimed shape, no data
+	f.Add(fuzzHeader(1, 1, 0xffff, 0xffffffff))              // out-of-bounds shape
+	f.Add(fuzzHeader(1, 0, 1, 0))                            // zero-degree
+	f.Add(fuzzHeader(1, 0, 0, 16))                           // zero limbs
+	f.Add(fuzzHeader(2, 0, 1, 16))                           // wrong version
+	f.Add(append(fuzzHeader(1, 0, 2, 16), make([]byte, 64)...)) // payload for ½ limb
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q Poly
+		n, err := q.ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if n > int64(len(data)) {
+			t.Fatalf("ReadFrom claims %d bytes from a %d-byte input", n, len(data))
+		}
+		if n != int64(q.SerializedSize()) {
+			t.Fatalf("consumed %d bytes but SerializedSize is %d", n, q.SerializedSize())
+		}
+		var out bytes.Buffer
+		if _, err := q.WriteTo(&out); err != nil {
+			t.Fatalf("re-serialization of accepted input failed: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), data[:n]) {
+			t.Fatal("accepted input does not round-trip byte-identically")
+		}
+	})
+}

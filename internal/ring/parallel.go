@@ -5,20 +5,31 @@ import (
 	"sync"
 )
 
-// Parallel limb transforms: the NTT operates on each limb independently
-// (the paper's Table 3 "limb-wise" access pattern is exactly this
-// independence), so a polynomial's limbs transform concurrently with
-// bit-identical results. Useful for the bootstrapping pipeline, where a
-// raised polynomial carries dozens of limbs.
+// Shared execution layer: a lightweight worker pool over an index range.
+//
+// Every hot loop in RNS-CKKS is a loop over independent work items — limbs
+// for the NTT/iNTT (the paper's Table 3 "limb-wise" access pattern is
+// exactly this independence), coefficients for the slot-wise basis
+// conversion, digits for the key-switch inner product, rotation steps for
+// hoisted fan-outs. All of them parallelize with bit-identical results
+// because each item's arithmetic is untouched; only the schedule changes.
+// Hardware reproductions (ARK, Taiyi) exploit the same independence with
+// wide parallel lanes; this is the software analogue.
+//
+// Parallel and ParallelChunked are the two primitives the rns, ckks and
+// bootstrap layers build on. Both degrade to a plain serial loop when the
+// effective worker count is 1, so instrumented code can call them
+// unconditionally.
 
-// maxWorkers bounds the worker count to the limb count and the machine.
-func maxWorkers(limbs, requested int) int {
+// maxWorkers bounds the worker count to the item count and the machine.
+// A requested count ≤ 0 means "use GOMAXPROCS".
+func maxWorkers(items, requested int) int {
 	w := requested
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	if w > limbs {
-		w = limbs
+	if w > items {
+		w = items
 	}
 	if w < 1 {
 		w = 1
@@ -26,19 +37,24 @@ func maxWorkers(limbs, requested int) int {
 	return w
 }
 
-// forEachLimb runs fn(i) for every limb index concurrently.
-func (r *Ring) forEachLimb(workers int, fn func(i int)) {
-	limbs := len(r.SubRings)
-	w := maxWorkers(limbs, workers)
+// Parallel runs fn(i) for every i in [0, n) using up to `workers`
+// goroutines (≤ 0 means GOMAXPROCS, 1 means the calling goroutine only).
+// Items are handed out dynamically, so mildly uneven item costs still
+// balance. fn must not assume any ordering between items.
+func Parallel(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := maxWorkers(n, workers)
 	if w == 1 {
-		for i := 0; i < limbs; i++ {
+		for i := 0; i < n; i++ {
 			fn(i)
 		}
 		return
 	}
 	var wg sync.WaitGroup
-	next := make(chan int, limbs)
-	for i := 0; i < limbs; i++ {
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
 		next <- i
 	}
 	close(next)
@@ -52,6 +68,40 @@ func (r *Ring) forEachLimb(workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ParallelChunked partitions [0, n) into one contiguous chunk per worker
+// and runs fn(worker, start, end) for each non-empty chunk. The worker
+// index is in [0, maxWorkers(n, workers)) and is unique per chunk, so
+// callers can keep per-worker accumulators without locking. Chunk
+// boundaries depend only on (n, effective worker count), never on timing.
+func ParallelChunked(n, workers int, fn func(worker, start, end int)) {
+	if n <= 0 {
+		return
+	}
+	w := maxWorkers(n, workers)
+	if w == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		start := g * n / w
+		end := (g + 1) * n / w
+		go func(g, start, end int) {
+			defer wg.Done()
+			if start < end {
+				fn(g, start, end)
+			}
+		}(g, start, end)
+	}
+	wg.Wait()
+}
+
+// forEachLimb runs fn(i) for every limb index concurrently.
+func (r *Ring) forEachLimb(workers int, fn func(i int)) {
+	Parallel(len(r.SubRings), workers, fn)
 }
 
 // NTTPolyParallel transforms every limb of p into evaluation form using

@@ -27,9 +27,14 @@ func (p *Poly) CopyNew() *Poly {
 	return out
 }
 
-// Copy copies p into out, which must have at least as many limbs.
+// Copy copies p into out. The destination must have been allocated with at
+// least as many limbs as the source (len or spare capacity); a destination
+// previously truncated by Resize is resliced back up, so buffer-reuse
+// callers never lose limbs permanently. After Copy, out has exactly the
+// source's limb count; any upper limbs the destination had beyond that
+// remain intact in its capacity and can be recovered with Resize.
 func (p *Poly) Copy(out *Poly) {
-	if len(out.Coeffs) < len(p.Coeffs) {
+	if cap(out.Coeffs) < len(p.Coeffs) {
 		panic("ring: Copy destination has fewer limbs than source")
 	}
 	out.Coeffs = out.Coeffs[:len(p.Coeffs)]
@@ -37,6 +42,17 @@ func (p *Poly) Copy(out *Poly) {
 		copy(out.Coeffs[i], p.Coeffs[i])
 	}
 	out.IsNTT = p.IsNTT
+}
+
+// Resize sets the polynomial's limb count, growing back into spare slice
+// capacity when limbs exceeds the current length (limbs recovered this way
+// hold stale data; callers that need zeros must clear them). It panics if
+// the backing allocation never held that many limbs.
+func (p *Poly) Resize(limbs int) {
+	if limbs < 0 || limbs > cap(p.Coeffs) {
+		panic(fmt.Sprintf("ring: Resize to %d limbs exceeds capacity %d", limbs, cap(p.Coeffs)))
+	}
+	p.Coeffs = p.Coeffs[:limbs]
 }
 
 // Zero sets all coefficients of p to zero.
@@ -131,11 +147,18 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) {
 func (r *Ring) MulCoeffsThenAdd(a, b, out *Poly) {
 	r.checkCompat(a, b, out)
 	for i, s := range r.SubRings {
-		br, q := s.Barrett, s.Q
-		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
-		for j := range oi[:r.N] {
-			oi[j] = mathutil.AddMod(oi[j], br.MulMod(ai[j], bi[j]), q)
-		}
+		s.MulThenAddVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i][:r.N])
+	}
+	out.IsNTT = a.IsNTT
+}
+
+// MulThenAddVec sets acc[j] += a[j]·b[j] mod q over a single limb. It is
+// the per-limb core of MulCoeffsThenAdd, exposed so limb-parallel callers
+// can fuse the digit loop of a key-switch inner product per limb.
+func (s *SubRing) MulThenAddVec(a, b, acc []uint64) {
+	br, q := s.Barrett, s.Q
+	for j := range acc {
+		acc[j] = mathutil.AddMod(acc[j], br.MulMod(a[j], b[j]), q)
 	}
 }
 

@@ -1,0 +1,49 @@
+package ring
+
+import "sync"
+
+// polyPool recycles full-limb scratch polynomials for a ring. The hot
+// evaluator paths (basis conversion, key switching, hoisted rotations)
+// otherwise allocate multi-megabyte polynomials per operation; the paper's
+// working-set analysis (§4) is precisely about keeping those buffers
+// resident, and on the software side that means reusing them.
+//
+// Pooled polynomials are always allocated at the full modulus-chain size
+// and resliced down to the requesting view's limb count, so a pool is
+// safely shared by every AtLevel view of the same Ring. sync.Pool is
+// goroutine-safe, so parallel workers can draw scratch concurrently.
+type polyPool struct {
+	limbs int
+	pool  sync.Pool
+}
+
+func newPolyPool(limbs, n int) *polyPool {
+	p := &polyPool{limbs: limbs}
+	p.pool.New = func() any {
+		coeffs := make([][]uint64, limbs)
+		backing := make([]uint64, limbs*n)
+		for i := range coeffs {
+			coeffs[i], backing = backing[:n:n], backing[n:]
+		}
+		return &Poly{Coeffs: coeffs}
+	}
+	return p
+}
+
+// GetScratch returns a scratch polynomial with exactly one limb per modulus
+// of r (reslicing a pooled full-chain buffer down for AtLevel views). The
+// contents are stale — callers must overwrite or Zero() before reading.
+// Return it with PutScratch when done.
+func (r *Ring) GetScratch() *Poly {
+	p := r.scratch.pool.Get().(*Poly)
+	p.Resize(len(r.Moduli))
+	p.IsNTT = false
+	return p
+}
+
+// PutScratch returns a polynomial obtained from GetScratch to the pool.
+// The caller must not use p afterwards.
+func (r *Ring) PutScratch(p *Poly) {
+	p.Resize(r.scratch.limbs)
+	r.scratch.pool.Put(p)
+}

@@ -92,7 +92,8 @@ type Ring struct {
 	Moduli   []uint64
 	SubRings []*SubRing
 
-	autoTables map[uint64][]int // Galois element -> NTT-domain permutation
+	auto    *autoCache // Galois element -> NTT-domain permutation
+	scratch *polyPool  // reusable full-limb scratch polynomials
 }
 
 // NewRing constructs a Ring of degree n (a power of two ≥ 16) over the given
@@ -106,12 +107,13 @@ func NewRing(n int, moduli []uint64) (*Ring, error) {
 	}
 	seen := make(map[uint64]bool, len(moduli))
 	r := &Ring{
-		N:          n,
-		LogN:       bits.Len(uint(n)) - 1,
-		Moduli:     append([]uint64(nil), moduli...),
-		SubRings:   make([]*SubRing, len(moduli)),
-		autoTables: make(map[uint64][]int),
+		N:        n,
+		LogN:     bits.Len(uint(n)) - 1,
+		Moduli:   append([]uint64(nil), moduli...),
+		SubRings: make([]*SubRing, len(moduli)),
+		auto:     &autoCache{tables: make(map[uint64][]int)},
 	}
+	r.scratch = newPolyPool(len(moduli), n)
 	for i, q := range moduli {
 		if seen[q] {
 			return nil, fmt.Errorf("ring: duplicate modulus %d", q)
@@ -136,11 +138,12 @@ func (r *Ring) AtLevel(level int) *Ring {
 		panic(fmt.Sprintf("ring: level %d out of range [0,%d]", level, r.MaxLevel()))
 	}
 	return &Ring{
-		N:          r.N,
-		LogN:       r.LogN,
-		Moduli:     r.Moduli[:level+1],
-		SubRings:   r.SubRings[:level+1],
-		autoTables: r.autoTables,
+		N:        r.N,
+		LogN:     r.LogN,
+		Moduli:   r.Moduli[:level+1],
+		SubRings: r.SubRings[:level+1],
+		auto:     r.auto,
+		scratch:  r.scratch,
 	}
 }
 

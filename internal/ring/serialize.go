@@ -63,25 +63,36 @@ func (p *Poly) ReadFrom(r io.Reader) (int64, error) {
 	if header[0] != polyFormatVersion {
 		return total, fmt.Errorf("ring: unsupported polynomial format version %d", header[0])
 	}
+	// Reject undefined flag bits and nonzero reserved bytes: accepting them
+	// would make deserialize ∘ serialize lossy (found by FuzzPolyReadFrom).
+	if header[1]&^uint8(1) != 0 {
+		return total, fmt.Errorf("ring: unknown polynomial flags %#x", header[1])
+	}
+	if header[8] != 0 || header[9] != 0 || header[10] != 0 || header[11] != 0 {
+		return total, fmt.Errorf("ring: nonzero reserved polynomial header bytes")
+	}
 	limbs := int(binary.LittleEndian.Uint16(header[2:]))
 	n := int(binary.LittleEndian.Uint32(header[4:]))
 	if limbs == 0 || n == 0 || n&(n-1) != 0 || n > 1<<20 || limbs > 1<<12 {
 		return total, fmt.Errorf("ring: implausible polynomial shape %d limbs × %d coeffs", limbs, n)
 	}
 	p.IsNTT = header[1]&1 == 1
-	p.Coeffs = make([][]uint64, limbs)
-	backing := make([]uint64, limbs*n)
+	// Allocate each limb only after its bytes actually arrive: the header
+	// alone must not be able to commit us to limbs×n words (a hostile
+	// 12-byte header could otherwise demand a 32 GB up-front allocation).
+	p.Coeffs = make([][]uint64, 0, limbs)
 	buf := make([]byte, 8*n)
-	for i := range p.Coeffs {
+	for i := 0; i < limbs; i++ {
 		read, err = io.ReadFull(r, buf)
 		total += int64(read)
 		if err != nil {
 			return total, err
 		}
-		p.Coeffs[i], backing = backing[:n:n], backing[n:]
-		for j := range p.Coeffs[i] {
-			p.Coeffs[i][j] = binary.LittleEndian.Uint64(buf[8*j:])
+		limb := make([]uint64, n)
+		for j := range limb {
+			limb[j] = binary.LittleEndian.Uint64(buf[8*j:])
 		}
+		p.Coeffs = append(p.Coeffs, limb)
 	}
 	return total, nil
 }

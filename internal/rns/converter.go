@@ -2,6 +2,7 @@ package rns
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/mathutil"
 	"repro/internal/ring"
@@ -24,17 +25,32 @@ func (p PolyQP) CopyNew() PolyQP {
 // Converter owns the basis-extension tables between a ciphertext modulus
 // chain Q = q_0·…·q_L and the special modulus P = p_0·…·p_{k-1}, and
 // implements the RNS subroutines of the paper's Algorithms 1, 2 and 5.
+//
+// All conversion methods take a trailing worker count (≤ 0 meaning
+// GOMAXPROCS, 1 meaning serial) and produce bit-identical results for
+// every worker count: the parallel split is over independent limbs
+// (NTT/iNTT, per-q_i correction) or independent coefficient ranges
+// (NewLimb), never over an order-sensitive reduction. A Converter is safe
+// for concurrent use.
 type Converter struct {
 	RingQ *ring.Ring
 	RingP *ring.Ring
 
+	mu     sync.RWMutex
 	tables map[string]*ExtTable
+
+	qpPool sync.Pool // scratch PolyQP at the full chain size
 }
 
 // NewConverter builds a Converter for the given modulus chains. RingP may
 // have any number of limbs ≥ 1.
 func NewConverter(ringQ, ringP *ring.Ring) *Converter {
-	return &Converter{RingQ: ringQ, RingP: ringP, tables: make(map[string]*ExtTable)}
+	c := &Converter{RingQ: ringQ, RingP: ringP, tables: make(map[string]*ExtTable)}
+	c.qpPool.New = func() any {
+		p := c.NewPolyQP(ringQ.MaxLevel())
+		return &p
+	}
+	return c
 }
 
 // NewPolyQP allocates a zero raised polynomial at the given Q level.
@@ -45,16 +61,59 @@ func (c *Converter) NewPolyQP(levelQ int) PolyQP {
 	}
 }
 
+// GetPolyQP returns a pooled raised polynomial resized to the given Q
+// level. Contents are stale; overwrite before reading. Pair with
+// PutPolyQP.
+func (c *Converter) GetPolyQP(levelQ int) PolyQP {
+	p := c.qpPool.Get().(*PolyQP)
+	p.Q.Resize(levelQ + 1)
+	return *p
+}
+
+// PutPolyQP returns a polynomial obtained from GetPolyQP to the pool.
+func (c *Converter) PutPolyQP(p PolyQP) {
+	p.Q.Resize(c.RingQ.MaxLevel() + 1)
+	c.qpPool.Put(&p)
+}
+
 // table returns (caching) the extension table from the moduli selected by
-// in to those selected by out.
+// in to those selected by out. Safe under concurrent conversions.
 func (c *Converter) table(in, out []uint64) *ExtTable {
 	key := fmt.Sprint(in, "->", out)
-	if t, ok := c.tables[key]; ok {
+	c.mu.RLock()
+	t, ok := c.tables[key]
+	c.mu.RUnlock()
+	if ok {
 		return t
 	}
-	t := NewExtTable(in, out)
-	c.tables[key] = t
+	t = NewExtTable(in, out)
+	c.mu.Lock()
+	if prev, ok := c.tables[key]; ok {
+		t = prev
+	} else {
+		c.tables[key] = t
+	}
+	c.mu.Unlock()
 	return t
+}
+
+// extendParallel runs t.Extend over disjoint coefficient ranges in
+// parallel. NewLimb is purely slot-wise (Eq. (1) touches all limbs of one
+// coefficient and nothing else), so splitting the coefficient axis changes
+// nothing about the arithmetic and the result is bit-identical to a single
+// serial Extend.
+func extendParallel(t *ExtTable, src, dst [][]uint64, n, workers int) {
+	ring.ParallelChunked(n, workers, func(_, start, end int) {
+		srcView := make([][]uint64, len(src))
+		for i := range src {
+			srcView[i] = src[i][start:end]
+		}
+		dstView := make([][]uint64, len(dst))
+		for j := range dst {
+			dstView[j] = dst[j][start:end]
+		}
+		t.Extend(srcView, dstView)
+	})
 }
 
 // ModUpDigit implements the ModUp of Algorithm 1 for one key-switching
@@ -63,7 +122,7 @@ func (c *Converter) table(in, out []uint64) *ExtTable {
 // basis Q ∪ P, in NTT form. Limbs inside [start, end) are copied verbatim
 // (Algorithm 1 line 4: no NTT needed on the input limbs); limbs outside
 // are produced by iNTT → NewLimb → NTT.
-func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP) {
+func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP, workers int) {
 	if !aQ.IsNTT {
 		panic("rns: ModUpDigit requires NTT input")
 	}
@@ -74,44 +133,42 @@ func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP
 	digitModuli := c.RingQ.Moduli[start:end]
 
 	// iNTT the digit limbs into scratch (Algorithm 1 line 1, limb-wise).
-	coeff := make([][]uint64, end-start)
-	for i := start; i < end; i++ {
-		coeff[i-start] = append([]uint64(nil), aQ.Coeffs[i][:n]...)
-		c.RingQ.SubRings[i].INTT(coeff[i-start])
-	}
+	scr := c.RingQ.GetScratch()
+	defer c.RingQ.PutScratch(scr)
+	coeff := scr.Coeffs[:end-start]
+	ring.Parallel(end-start, workers, func(k int) {
+		copy(coeff[k][:n], aQ.Coeffs[start+k][:n])
+		c.RingQ.SubRings[start+k].INTT(coeff[k])
+	})
 
 	// Output moduli: Q limbs outside the digit, then all P limbs.
 	var outModuli []uint64
 	var outSlices [][]uint64
+	var outRings []*ring.SubRing
 	for i := 0; i <= levelQ; i++ {
 		if i >= start && i < end {
 			continue
 		}
 		outModuli = append(outModuli, c.RingQ.Moduli[i])
 		outSlices = append(outSlices, out.Q.Coeffs[i][:n])
+		outRings = append(outRings, c.RingQ.SubRings[i])
 	}
 	for j := range c.RingP.Moduli {
 		outModuli = append(outModuli, c.RingP.Moduli[j])
 		outSlices = append(outSlices, out.P.Coeffs[j][:n])
+		outRings = append(outRings, c.RingP.SubRings[j])
 	}
 
-	// NewLimb (Algorithm 1 line 2, slot-wise).
-	c.table(digitModuli, outModuli).Extend(coeff, outSlices)
+	// NewLimb (Algorithm 1 line 2, slot-wise → coefficient-chunked).
+	extendParallel(c.table(digitModuli, outModuli), coeff, outSlices, n, workers)
 
 	// NTT the generated limbs (Algorithm 1 line 3, limb-wise) and copy the
 	// untouched digit limbs.
-	k := 0
-	for i := 0; i <= levelQ; i++ {
-		if i >= start && i < end {
-			copy(out.Q.Coeffs[i][:n], aQ.Coeffs[i][:n])
-			continue
-		}
-		c.RingQ.SubRings[i].NTT(outSlices[k])
-		k++
-	}
-	for j := range c.RingP.Moduli {
-		c.RingP.SubRings[j].NTT(outSlices[k])
-		k++
+	ring.Parallel(len(outSlices), workers, func(k int) {
+		outRings[k].NTT(outSlices[k])
+	})
+	for i := start; i < end; i++ {
+		copy(out.Q.Coeffs[i][:n], aQ.Coeffs[i][:n])
 	}
 	out.Q.IsNTT = true
 	out.P.IsNTT = true
@@ -122,7 +179,7 @@ func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP
 // dropping the P limbs. The division is a flooring division by P of the
 // representative in [0, PQ); the sub-integer error this introduces is the
 // standard key-switching rounding noise.
-func (c *Converter) ModDown(levelQ int, a PolyQP, out *ring.Poly) {
+func (c *Converter) ModDown(levelQ int, a PolyQP, out *ring.Poly, workers int) {
 	if !a.Q.IsNTT || !a.P.IsNTT {
 		panic("rns: ModDown requires NTT input")
 	}
@@ -132,23 +189,25 @@ func (c *Converter) ModDown(levelQ int, a PolyQP, out *ring.Poly) {
 	// iNTT the P limbs (Algorithm 2 line 1 restricted to B′; the Q limbs
 	// can stay in evaluation form because the correction limb we build for
 	// each q_i is transformed forward instead).
-	pCoeff := make([][]uint64, kP)
-	for j := 0; j < kP; j++ {
-		pCoeff[j] = append([]uint64(nil), a.P.Coeffs[j][:n]...)
+	scrP := c.RingP.GetScratch()
+	defer c.RingP.PutScratch(scrP)
+	pCoeff := scrP.Coeffs[:kP]
+	ring.Parallel(kP, workers, func(j int) {
+		copy(pCoeff[j][:n], a.P.Coeffs[j][:n])
 		c.RingP.SubRings[j].INTT(pCoeff[j])
-	}
+	})
 
 	// NewLimb from basis P into each q_i (Algorithm 2 line 3, slot-wise).
 	qModuli := c.RingQ.Moduli[:levelQ+1]
-	hat := make([][]uint64, levelQ+1)
-	for i := range hat {
-		hat[i] = make([]uint64, n)
-	}
-	c.table(c.RingP.Moduli, qModuli).Extend(pCoeff, hat)
+	rq := c.RingQ.AtLevel(levelQ)
+	scrQ := rq.GetScratch()
+	defer rq.PutScratch(scrQ)
+	hat := scrQ.Coeffs[:levelQ+1]
+	extendParallel(c.table(c.RingP.Moduli, qModuli), pCoeff, hat, n, workers)
 
 	// (x − x̂)·P^{-1} per limb (Algorithm 2 line 4), staying in NTT form by
 	// transforming the correction limb forward (line 5 folded in).
-	for i := 0; i <= levelQ; i++ {
+	ring.Parallel(levelQ+1, workers, func(i int) {
 		s := c.RingQ.SubRings[i]
 		s.NTT(hat[i])
 		pInv := mathutil.InvMod(ProductMod(c.RingP.Moduli, s.Q), s.Q)
@@ -158,7 +217,7 @@ func (c *Converter) ModDown(levelQ int, a PolyQP, out *ring.Poly) {
 		for j := 0; j < n; j++ {
 			oi[j] = mathutil.MulModShoup(mathutil.SubMod(ai[j], hi[j], s.Q), pInv, pInvShoup, s.Q)
 		}
-	}
+	})
 	out.Coeffs = out.Coeffs[:levelQ+1]
 	out.IsNTT = true
 }
@@ -167,7 +226,7 @@ func (c *Converter) ModDown(levelQ int, a PolyQP, out *ring.Poly) {
 // modulus q_ℓ with rounding, producing a level-(levelQ−1) polynomial in
 // NTT form in out. This is the Rescale of Table 2: the ModDown
 // specialization with B′ = {q_ℓ}.
-func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly) {
+func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly, workers int) {
 	if !a.IsNTT {
 		panic("rns: Rescale requires NTT input")
 	}
@@ -180,7 +239,10 @@ func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly) {
 
 	// Bring the dropped limb to coefficient form and pre-add q_ℓ/2 so the
 	// flooring division below rounds to nearest.
-	last := append([]uint64(nil), a.Coeffs[levelQ][:n]...)
+	scr := c.RingQ.GetScratch()
+	defer c.RingQ.PutScratch(scr)
+	last := scr.Coeffs[levelQ][:n]
+	copy(last, a.Coeffs[levelQ][:n])
 	c.RingQ.SubRings[levelQ].INTT(last)
 	for j := 0; j < n; j++ {
 		last[j] += half
@@ -189,14 +251,14 @@ func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly) {
 		}
 	}
 
-	for i := 0; i < levelQ; i++ {
+	ring.Parallel(levelQ, workers, func(i int) {
 		s := c.RingQ.SubRings[i]
 		qlInv := mathutil.InvMod(ql%s.Q, s.Q)
 		qlInvShoup := mathutil.ShoupPrecomp(qlInv, s.Q)
 		halfMod := half % s.Q
 
 		// b = (last' − q_ℓ/2) mod q_i, transformed forward.
-		b := make([]uint64, n)
+		b := scr.Coeffs[i][:n]
 		for j := 0; j < n; j++ {
 			b[j] = mathutil.SubMod(s.Barrett.Reduce(last[j]), halfMod, s.Q)
 		}
@@ -206,7 +268,7 @@ func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly) {
 		for j := 0; j < n; j++ {
 			oi[j] = mathutil.MulModShoup(mathutil.SubMod(ai[j], b[j], s.Q), qlInv, qlInvShoup, s.Q)
 		}
-	}
+	})
 	out.Coeffs = out.Coeffs[:levelQ]
 	out.IsNTT = true
 }
@@ -215,9 +277,9 @@ func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly) {
 // only one scalar multiplication per coefficient and zero P limbs — no
 // basis conversion and no NTTs. This is the cheap lift that lets linear
 // functions run in the raised basis (the paper's §3.2).
-func (c *Converter) PModUp(levelQ int, a *ring.Poly, out PolyQP) {
+func (c *Converter) PModUp(levelQ int, a *ring.Poly, out PolyQP, workers int) {
 	n := c.RingQ.N
-	for i := 0; i <= levelQ; i++ {
+	ring.Parallel(levelQ+1, workers, func(i int) {
 		s := c.RingQ.SubRings[i]
 		pMod := ProductMod(c.RingP.Moduli, s.Q)
 		pShoup := mathutil.ShoupPrecomp(pMod, s.Q)
@@ -225,7 +287,7 @@ func (c *Converter) PModUp(levelQ int, a *ring.Poly, out PolyQP) {
 		for j := 0; j < n; j++ {
 			oi[j] = mathutil.MulModShoup(ai[j], pMod, pShoup, s.Q)
 		}
-	}
+	})
 	for j := range c.RingP.Moduli {
 		clear(out.P.Coeffs[j][:n])
 	}

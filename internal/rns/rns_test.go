@@ -162,7 +162,7 @@ func TestModUpDigit(t *testing.T) {
 	ringQ.NTTPoly(aQ)
 
 	out := conv.NewPolyQP(levelQ)
-	conv.ModUpDigit(levelQ, start, end, aQ, out)
+	conv.ModUpDigit(levelQ, start, end, aQ, out, 1)
 
 	// Expected: the digit's value x_d (CRT over moduli[start:end]) reduced
 	// mod every output modulus.
@@ -227,7 +227,7 @@ func TestModDownExactMultiples(t *testing.T) {
 	ringP.NTTPoly(a.P)
 
 	out := ringQ.NewPoly()
-	conv.ModDown(levelQ, a, out)
+	conv.ModDown(levelQ, a, out, 1)
 	ringQ.INTTPoly(out)
 
 	for c := 0; c < n; c++ {
@@ -268,7 +268,7 @@ func TestModDownFlooring(t *testing.T) {
 	ringP.NTTPoly(a.P)
 
 	out := ringQ.NewPoly()
-	conv.ModDown(levelQ, a, out)
+	conv.ModDown(levelQ, a, out, 1)
 	ringQ.INTTPoly(out)
 
 	for c := 0; c < n; c++ {
@@ -304,7 +304,7 @@ func TestRescaleRounds(t *testing.T) {
 	ringQ.NTTPoly(a)
 
 	out := ringQ.NewPoly()
-	conv.Rescale(levelQ, a, out)
+	conv.Rescale(levelQ, a, out, 1)
 	lowRing := ringQ.AtLevel(levelQ - 1)
 	lowRing.INTTPoly(out)
 
@@ -335,7 +335,7 @@ func TestPModUp(t *testing.T) {
 	ringQ.SampleUniform(src, a)
 
 	out := conv.NewPolyQP(levelQ)
-	conv.PModUp(levelQ, a, out)
+	conv.PModUp(levelQ, a, out, 1)
 
 	bigP := bigProduct(ringP.Moduli)
 	for i := 0; i <= levelQ; i++ {
@@ -370,9 +370,9 @@ func TestPModUpThenModDownIsIdentity(t *testing.T) {
 	a.IsNTT = true // PModUp and ModDown are representation-agnostic pointwise ops
 
 	lifted := conv.NewPolyQP(levelQ)
-	conv.PModUp(levelQ, a, lifted)
+	conv.PModUp(levelQ, a, lifted, 1)
 	back := ringQ.NewPoly()
-	conv.ModDown(levelQ, lifted, back)
+	conv.ModDown(levelQ, lifted, back, 1)
 
 	if !back.Equal(a) {
 		t.Error("ModDown(PModUp(a)) != a")
