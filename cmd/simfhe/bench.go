@@ -72,8 +72,24 @@ func parseWorkerList(s string) ([]int, error) {
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	workersFlag := fs.String("workers", "", "comma-separated worker counts to sweep (default 1,2,NumCPU)")
-	out := fs.String("out", "BENCH_parallel.json", "output JSON file (- for stdout)")
+	suite := fs.String("suite", "parallel", "benchmark suite: parallel (worker sweep), extend (basis-extension kernels)")
+	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_<suite>.json)")
 	fs.Parse(args)
+	switch *suite {
+	case "parallel":
+		if *out == "" {
+			*out = "BENCH_parallel.json"
+		}
+	case "extend":
+		if *out == "" {
+			*out = "BENCH_extend.json"
+		}
+		benchExtendSuite(*out)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (want parallel or extend)\n", *suite)
+		os.Exit(2)
+	}
 	counts, err := parseWorkerList(*workersFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -123,21 +139,27 @@ func benchCmd(args []string) {
 	fillSpeedups(&rl)
 	report.Workloads = append(report.Workloads, rl)
 
+	writeBenchJSON(report, *out)
+}
+
+// writeBenchJSON marshals any suite report to the given path (- for
+// stdout), exiting on failure.
+func writeBenchJSON(report any, out string) {
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if *out == "-" {
+	if out == "-" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote benchmark report to %s\n", *out)
+	fmt.Fprintf(os.Stderr, "wrote benchmark report to %s\n", out)
 }
 
 // fillSpeedups normalizes each measurement against the workload's

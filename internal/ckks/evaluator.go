@@ -94,9 +94,12 @@ func splitWorkers(workers, tasks int) (outer, inner int) {
 	return tasks, (workers + tasks - 1) / tasks
 }
 
-// SetRecorder attaches an observability recorder (nil detaches it).
+// SetRecorder attaches an observability recorder (nil detaches it). The
+// recorder is propagated to the parameter set's shared basis-change
+// Converter, which feeds the "rns.extend" counters.
 func (ev *Evaluator) SetRecorder(r *obs.Recorder) {
 	ev.rec = r
+	ev.params.Converter().SetRecorder(r)
 	r.SetGauge("ckks.workers", float64(ev.workers))
 }
 
@@ -374,20 +377,30 @@ func (ev *Evaluator) kskInnerProduct(level int, digits []rns.PolyQP, swk *Switch
 	for j := range digits {
 		ds[j] = ev.digit(swk, j)
 	}
+	// The digit loop accumulates lazily in [0, 2q) per limb and folds once
+	// at the end — one correction-free Barrett per product instead of a
+	// fully reduced multiply plus modular add per digit. The fold restores
+	// the exact canonical residues, so results are unchanged bit-for-bit.
 	ring.Parallel(nQ+nP, workers, func(i int) {
 		if i < nQ {
 			s := rQ.SubRings[i]
+			uQ, vQ := u.Q.Coeffs[i][:n], v.Q.Coeffs[i][:n]
 			for j := range digits {
-				s.MulThenAddVec(ds[j].B.Q.Coeffs[i][:n], digits[j].Q.Coeffs[i][:n], u.Q.Coeffs[i][:n])
-				s.MulThenAddVec(ds[j].A.Q.Coeffs[i][:n], digits[j].Q.Coeffs[i][:n], v.Q.Coeffs[i][:n])
+				s.MulThenAddVecLazy(ds[j].B.Q.Coeffs[i][:n], digits[j].Q.Coeffs[i][:n], uQ)
+				s.MulThenAddVecLazy(ds[j].A.Q.Coeffs[i][:n], digits[j].Q.Coeffs[i][:n], vQ)
 			}
+			s.FoldVec(uQ)
+			s.FoldVec(vQ)
 		} else {
 			k := i - nQ
 			s := rP.SubRings[k]
+			uP, vP := u.P.Coeffs[k][:n], v.P.Coeffs[k][:n]
 			for j := range digits {
-				s.MulThenAddVec(ds[j].B.P.Coeffs[k][:n], digits[j].P.Coeffs[k][:n], u.P.Coeffs[k][:n])
-				s.MulThenAddVec(ds[j].A.P.Coeffs[k][:n], digits[j].P.Coeffs[k][:n], v.P.Coeffs[k][:n])
+				s.MulThenAddVecLazy(ds[j].B.P.Coeffs[k][:n], digits[j].P.Coeffs[k][:n], uP)
+				s.MulThenAddVecLazy(ds[j].A.P.Coeffs[k][:n], digits[j].P.Coeffs[k][:n], vP)
 			}
+			s.FoldVec(uP)
+			s.FoldVec(vP)
 		}
 	})
 	u.Q.IsNTT, u.P.IsNTT = true, true

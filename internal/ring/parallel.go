@@ -21,6 +21,16 @@ import (
 // effective worker count is 1, so instrumented code can call them
 // unconditionally.
 
+// EffectiveWorkers returns the worker count Parallel and ParallelChunked
+// will actually use for the given item count and request. Hot paths branch
+// on it to take closure-free serial loops when the answer is 1: a closure
+// passed to Parallel is captured by worker goroutines and therefore always
+// heap-allocated at its creation site, even when the serial path runs, so
+// allocation-free callers must avoid constructing it at all.
+func EffectiveWorkers(items, requested int) int {
+	return maxWorkers(items, requested)
+}
+
 // maxWorkers bounds the worker count to the item count and the machine.
 // A requested count ≤ 0 means "use GOMAXPROCS".
 func maxWorkers(items, requested int) int {

@@ -7,14 +7,40 @@
 // These are exactly the operations whose slot-wise data-access pattern
 // forces the orientation switches the paper's memory analysis revolves
 // around: NewLimb needs all limbs of one coefficient, whereas NTT/iNTT
-// need all coefficients of one limb.
+// need all coefficients of one limb. The production kernel below resolves
+// that tension the way the paper's limb re-ordering does in hardware:
+// coefficients are processed in cache-resident tiles, inside which every
+// loop streams contiguous memory (see docs/PERF.md).
 package rns
 
 import (
 	"fmt"
+	"math/bits"
+	"sync"
 
 	"repro/internal/mathutil"
 )
+
+// ExtendTile is the cache-blocking width of the basis-extension kernel:
+// the number of coefficients whose intermediate y-values are materialized
+// into contiguous scratch before the output limbs are produced. The
+// working set per tile is (ℓ+4)·8·ExtendTile bytes — at ℓ = 20 limbs and
+// the default 512 coefficients that is ~96 KiB, sized to sit in L2 while
+// each inner loop walks a single contiguous row (L1-resident). This is
+// the software analogue of MAD's limb re-ordering: instead of striding
+// across limb-major polynomials per coefficient, the kernel re-orders the
+// computation so all limb-major accesses are sequential within a tile.
+const ExtendTile = 512
+
+// extendFoldEvery bounds the number of 122-bit products the lazy kernel
+// may accumulate into a 128-bit (hi, lo) pair before folding with a
+// Barrett reduction. Each product of a y_i < 2^61 by a table entry
+// < 2^61 is at most (2^61-1)^2, so 64 such products sum to strictly less
+// than 2^128; past that the accumulator must be reduced back below 2^61
+// (one product's worth) before accumulation continues. Every basis used
+// by CKKS key switching has ℓ ≤ 64 limbs, so the fold is effectively
+// never taken — it exists so the kernel stays correct for arbitrary ℓ.
+const extendFoldEvery = 64
 
 // ExtTable holds the precomputations to extend values from an input RNS
 // basis {q_1..q_ℓ} to an output basis {p_1..p_k}: the per-coefficient
@@ -28,8 +54,24 @@ type ExtTable struct {
 	qiTildeShoup []uint64   // Shoup precomputation of the above
 	qiStar       [][]uint64 // [j][i] = (Q/q_i) mod p_j
 	qModOut      []uint64   // Q mod p_j
+	vqOut        [][]uint64 // [j][k] = (k·Q) mod p_j for k ∈ [0, ℓ]
 	qiInvFloat   []float64  // 1 / q_i
 	outBarrett   []mathutil.Barrett
+
+	scratch sync.Pool // *extScratch, sized for ExtendTile coefficients
+}
+
+// extScratch is the per-tile working set of the production kernel: the
+// materialized y-values (ℓ contiguous rows of ExtendTile words), the
+// float overflow accumulators, the integer overflow estimates, and the
+// 128-bit lazy accumulator halves. Pooled per table so concurrent
+// Extend calls (the coefficient-chunked parallel path) never share or
+// allocate scratch in steady state.
+type extScratch struct {
+	y      [][]uint64
+	vf     []float64
+	v      []uint64
+	hi, lo []uint64
 }
 
 // NewExtTable builds the extension table from basis in to basis out.
@@ -42,6 +84,7 @@ func NewExtTable(in, out []uint64) *ExtTable {
 		qiTildeShoup: make([]uint64, len(in)),
 		qiStar:       make([][]uint64, len(out)),
 		qModOut:      make([]uint64, len(out)),
+		vqOut:        make([][]uint64, len(out)),
 		qiInvFloat:   make([]float64, len(in)),
 		outBarrett:   make([]mathutil.Barrett, len(out)),
 	}
@@ -67,6 +110,15 @@ func NewExtTable(in, out []uint64) *ExtTable {
 			qMod = br.MulMod(qMod, br.Reduce(qk))
 		}
 		t.qModOut[j] = qMod
+		// The overflow estimate v = floor(Σ y_i/q_i) is bounded by ℓ: the
+		// true sum is < ℓ and the float64 summation error across ℓ ≤ 64
+		// terms stays far below 1, so the correction v·Q mod p_j is one of
+		// ℓ+1 values and the hot kernel can look it up instead of paying a
+		// Barrett multiply per output element.
+		t.vqOut[j] = make([]uint64, len(in)+1)
+		for k := 1; k <= len(in); k++ {
+			t.vqOut[j][k] = mathutil.AddMod(t.vqOut[j][k-1], qMod, pj)
+		}
 		for i := range in {
 			prod := uint64(1)
 			for k, qk := range in {
@@ -77,7 +129,29 @@ func NewExtTable(in, out []uint64) *ExtTable {
 			t.qiStar[j][i] = prod
 		}
 	}
+	nIn := len(in)
+	t.scratch.New = func() any {
+		s := &extScratch{
+			y:  make([][]uint64, nIn),
+			vf: make([]float64, ExtendTile),
+			v:  make([]uint64, ExtendTile),
+			hi: make([]uint64, ExtendTile),
+			lo: make([]uint64, ExtendTile),
+		}
+		backing := make([]uint64, nIn*ExtendTile)
+		for i := range s.y {
+			s.y[i], backing = backing[:ExtendTile:ExtendTile], backing[ExtendTile:]
+		}
+		return s
+	}
 	return t
+}
+
+func (t *ExtTable) checkShapes(src, dst [][]uint64) {
+	if len(src) != len(t.In) || len(dst) != len(t.Out) {
+		panic(fmt.Sprintf("rns: Extend got %d input and %d output limbs, want %d and %d",
+			len(src), len(dst), len(t.In), len(t.Out)))
+	}
 }
 
 // Extend converts a batch of coefficients from the input basis to the
@@ -88,11 +162,142 @@ func NewExtTable(in, out []uint64) *ExtTable {
 // This is the vectorized NewLimb of Eq. (1): for each coefficient it
 // computes y_i = [x]_{q_i}·Q̃_i mod q_i, estimates the overflow
 // v = round(Σ y_i/q_i), and outputs Σ y_i·Q*_i − v·Q (mod p_j).
+//
+// The kernel is tiled and lazily reduced: per output element the ℓ
+// products y_i·Q*_i accumulate into one 128-bit pair and pay a single
+// Barrett reduction, instead of ℓ full reductions plus ℓ modular adds
+// (see docs/PERF.md for the overflow bound). The output is bit-identical
+// to ExtendReference, which the tests enforce.
 func (t *ExtTable) Extend(src, dst [][]uint64) {
-	if len(src) != len(t.In) || len(dst) != len(t.Out) {
-		panic(fmt.Sprintf("rns: Extend got %d input and %d output limbs, want %d and %d",
-			len(src), len(dst), len(t.In), len(t.Out)))
+	t.checkShapes(src, dst)
+	if len(t.In) == 0 {
+		for j := range dst {
+			clear(dst[j])
+		}
+		return
 	}
+	n := len(src[0])
+	sc := t.scratch.Get().(*extScratch)
+	for c0 := 0; c0 < n; c0 += ExtendTile {
+		b := min(ExtendTile, n-c0)
+		t.extendTile(src, dst, c0, b, sc, true)
+	}
+	t.scratch.Put(sc)
+}
+
+// ExtendApprox is the uncorrected fast basis conversion: it outputs
+// x + u·Q (mod p_j) for some 0 ≤ u < ℓ instead of exactly x. This is the
+// cheaper variant referenced by Eq. (1) verbatim; key switching tolerates
+// the u·Q slack because it is later scaled away by ModDown. It shares the
+// tiled lazy kernel with Extend, skipping the overflow-correction stage.
+func (t *ExtTable) ExtendApprox(src, dst [][]uint64) {
+	t.checkShapes(src, dst)
+	if len(t.In) == 0 {
+		for j := range dst {
+			clear(dst[j])
+		}
+		return
+	}
+	n := len(src[0])
+	sc := t.scratch.Get().(*extScratch)
+	for c0 := 0; c0 < n; c0 += ExtendTile {
+		b := min(ExtendTile, n-c0)
+		t.extendTile(src, dst, c0, b, sc, false)
+	}
+	t.scratch.Put(sc)
+}
+
+// extendTile converts coefficients [c0, c0+b) — one cache tile. Stage 1
+// materializes y_i = [x]_{q_i}·Q̃_i mod q_i into contiguous per-limb rows
+// (i-outer/c-inner: src rows and y rows both stream sequentially) and, when
+// exact, accumulates the float overflow estimate in the same ascending-i
+// order as the reference kernel so the rounding is identical. Stage 2 runs
+// j-outer/i-middle/c-inner: for each output limb, the ℓ products per
+// coefficient land in a 128-bit (hi, lo) accumulator via bits.Mul64 /
+// bits.Add64 and are reduced once at the end. Every inner loop touches
+// only contiguous rows of the tile scratch or of src/dst.
+func (t *ExtTable) extendTile(src, dst [][]uint64, c0, b int, sc *extScratch, exact bool) {
+	// Stage 1: y values and overflow estimate.
+	vf := sc.vf[:b]
+	if exact {
+		for c := range vf {
+			vf[c] = 0
+		}
+	}
+	for i := range t.In {
+		yi := sc.y[i][:b]
+		si := src[i][c0 : c0+b]
+		qi, tilde, tildeShoup := t.In[i], t.qiTilde[i], t.qiTildeShoup[i]
+		if exact {
+			inv := t.qiInvFloat[i]
+			for c, x := range si {
+				w := mathutil.MulModShoup(x, tilde, tildeShoup, qi)
+				yi[c] = w
+				vf[c] += float64(w) * inv
+			}
+		} else {
+			for c, x := range si {
+				yi[c] = mathutil.MulModShoup(x, tilde, tildeShoup, qi)
+			}
+		}
+	}
+	v := sc.v[:b]
+	if exact {
+		for c := range v {
+			// Flooring the float sum recovers the positive-range
+			// representative exactly (up to float64 slack at the wrap
+			// boundary); identical to the reference kernel's rounding.
+			v[c] = uint64(vf[c])
+		}
+	}
+
+	// Stage 2: one output limb at a time, lazily accumulated.
+	hi, lo := sc.hi[:b], sc.lo[:b]
+	for j := range t.Out {
+		br := t.outBarrett[j]
+		pj := t.Out[j]
+		clear(hi)
+		clear(lo)
+		for i := range t.In {
+			w := t.qiStar[j][i]
+			yi := sc.y[i][:b]
+			for c, y := range yi {
+				ph, pl := bits.Mul64(y, w)
+				var carry uint64
+				lo[c], carry = bits.Add64(lo[c], pl, 0)
+				hi[c] += ph + carry
+			}
+			if (i+1)%extendFoldEvery == 0 && i+1 < len(t.In) {
+				// ℓ > 64: fold the accumulator back below 2^61 so the
+				// next extendFoldEvery products cannot overflow 128 bits.
+				for c := range hi {
+					lo[c] = br.Reduce128(hi[c], lo[c])
+					hi[c] = 0
+				}
+			}
+		}
+		dj := dst[j][c0 : c0+b]
+		if exact {
+			vq := t.vqOut[j]
+			for c := range dj {
+				r := br.Reduce128(hi[c], lo[c])
+				dj[c] = mathutil.SubMod(r, vq[v[c]], pj)
+			}
+		} else {
+			for c := range dj {
+				dj[c] = br.Reduce128(hi[c], lo[c])
+			}
+		}
+	}
+}
+
+// ExtendReference is the original scalar NewLimb kernel: a full Barrett
+// reduction and a modular add per (coefficient × input-limb × output-limb)
+// triple, walking src limb-strided. It is retained verbatim as the test
+// and benchmark oracle for the tiled lazy kernel — the golden tests demand
+// Extend be bit-identical to it — and must not be used on hot paths.
+func (t *ExtTable) ExtendReference(src, dst [][]uint64) {
+	t.checkShapes(src, dst)
 	if len(t.In) == 0 {
 		for j := range dst {
 			clear(dst[j])
@@ -125,13 +330,15 @@ func (t *ExtTable) Extend(src, dst [][]uint64) {
 	}
 }
 
-// ExtendApprox is the uncorrected fast basis conversion: it outputs
-// x + u·Q (mod p_j) for some 0 ≤ u < ℓ instead of exactly x. This is the
-// cheaper variant referenced by Eq. (1) verbatim; key switching tolerates
-// the u·Q slack because it is later scaled away by ModDown.
-func (t *ExtTable) ExtendApprox(src, dst [][]uint64) {
-	if len(src) != len(t.In) || len(dst) != len(t.Out) {
-		panic("rns: ExtendApprox limb count mismatch")
+// ExtendApproxReference is the scalar oracle for ExtendApprox, kept for
+// the same golden-equality purpose as ExtendReference.
+func (t *ExtTable) ExtendApproxReference(src, dst [][]uint64) {
+	t.checkShapes(src, dst)
+	if len(t.In) == 0 {
+		for j := range dst {
+			clear(dst[j])
+		}
+		return
 	}
 	n := len(src[0])
 	y := make([]uint64, len(t.In))

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/mathutil"
+	"repro/internal/obs"
 	"repro/internal/ring"
 )
 
@@ -37,21 +38,32 @@ type Converter struct {
 	RingP *ring.Ring
 
 	mu     sync.RWMutex
-	tables map[string]*ExtTable
+	tables map[tableKey]*ExtTable
 
 	qpPool sync.Pool // scratch PolyQP at the full chain size
+	upPool sync.Pool // *modUpScratch: ModUpDigit output-view headers
+
+	// rec, when non-nil, receives the counters "rns.extend" (basis
+	// extensions performed) and "rns.extend.coeffs" (coefficients
+	// converted). A nil recorder costs one nil check per conversion.
+	rec *obs.Recorder
 }
 
 // NewConverter builds a Converter for the given modulus chains. RingP may
 // have any number of limbs ≥ 1.
 func NewConverter(ringQ, ringP *ring.Ring) *Converter {
-	c := &Converter{RingQ: ringQ, RingP: ringP, tables: make(map[string]*ExtTable)}
+	c := &Converter{RingQ: ringQ, RingP: ringP, tables: make(map[tableKey]*ExtTable)}
 	c.qpPool.New = func() any {
 		p := c.NewPolyQP(ringQ.MaxLevel())
 		return &p
 	}
+	c.upPool.New = func() any { return &modUpScratch{} }
 	return c
 }
+
+// SetRecorder attaches an observability recorder (nil detaches it). Not
+// safe to call concurrently with conversions.
+func (c *Converter) SetRecorder(r *obs.Recorder) { c.rec = r }
 
 // NewPolyQP allocates a zero raised polynomial at the given Q level.
 func (c *Converter) NewPolyQP(levelQ int) PolyQP {
@@ -76,10 +88,44 @@ func (c *Converter) PutPolyQP(p PolyQP) {
 	c.qpPool.Put(&p)
 }
 
+// tableKey is the structural cache key for extension tables. The old key
+// was fmt.Sprint(in, "->", out) — a multi-hundred-byte allocation and
+// format pass on every conversion. The structural key is a comparable
+// value built in one cheap pass: limb counts, the first and last modulus
+// of each basis, and the full sums of both bases. Two distinct bases can
+// only collide if they agree on length, endpoints and total sum
+// simultaneously; since every basis handled by one Converter is a
+// sub-sequence of its two fixed disjoint prime chains, first modulus plus
+// length already pins the basis down, and the sums are a safety margin.
+type tableKey struct {
+	lenIn, lenOut     int
+	firstIn, lastIn   uint64
+	firstOut, lastOut uint64
+	sumIn, sumOut     uint64
+}
+
+func makeTableKey(in, out []uint64) tableKey {
+	k := tableKey{lenIn: len(in), lenOut: len(out)}
+	if len(in) > 0 {
+		k.firstIn, k.lastIn = in[0], in[len(in)-1]
+	}
+	if len(out) > 0 {
+		k.firstOut, k.lastOut = out[0], out[len(out)-1]
+	}
+	for _, q := range in {
+		k.sumIn += q
+	}
+	for _, q := range out {
+		k.sumOut += q
+	}
+	return k
+}
+
 // table returns (caching) the extension table from the moduli selected by
-// in to those selected by out. Safe under concurrent conversions.
+// in to those selected by out. Safe under concurrent conversions. The hit
+// path performs no allocation.
 func (c *Converter) table(in, out []uint64) *ExtTable {
-	key := fmt.Sprint(in, "->", out)
+	key := makeTableKey(in, out)
 	c.mu.RLock()
 	t, ok := c.tables[key]
 	c.mu.RUnlock()
@@ -97,23 +143,94 @@ func (c *Converter) table(in, out []uint64) *ExtTable {
 	return t
 }
 
-// extendParallel runs t.Extend over disjoint coefficient ranges in
-// parallel. NewLimb is purely slot-wise (Eq. (1) touches all limbs of one
-// coefficient and nothing else), so splitting the coefficient axis changes
-// nothing about the arithmetic and the result is bit-identical to a single
-// serial Extend.
+// Table exposes the cached-table lookup for benchmarks and diagnostics
+// (the simfhe bench extend suite pins the hit-path cost with it).
+func (c *Converter) Table(in, out []uint64) *ExtTable { return c.table(in, out) }
+
+// extendViews recycles the per-chunk slice headers of extendParallel so
+// steady-state parallel conversions stop allocating in the hot loop. The
+// headers alias caller coefficient arrays, so they are dropped on release.
+type extendViews struct {
+	src, dst [][]uint64
+}
+
+var viewPool = sync.Pool{New: func() any { return &extendViews{} }}
+
+func getViews(nSrc, nDst int) *extendViews {
+	v := viewPool.Get().(*extendViews)
+	if cap(v.src) < nSrc {
+		v.src = make([][]uint64, nSrc)
+	}
+	if cap(v.dst) < nDst {
+		v.dst = make([][]uint64, nDst)
+	}
+	v.src, v.dst = v.src[:nSrc], v.dst[:nDst]
+	return v
+}
+
+func putViews(v *extendViews) {
+	clear(v.src)
+	clear(v.dst)
+	viewPool.Put(v)
+}
+
+// extend runs t.Extend over disjoint coefficient ranges in parallel and
+// feeds the converter's extension counters. NewLimb is purely slot-wise
+// (Eq. (1) touches all limbs of one coefficient and nothing else), so
+// splitting the coefficient axis changes nothing about the arithmetic and
+// the result is bit-identical to a single serial Extend. The kernel's
+// internal tiling composes with any chunk boundaries: tiles restart at
+// each chunk's origin, and no arithmetic crosses coefficients.
+func (c *Converter) extend(t *ExtTable, src, dst [][]uint64, n, workers int) {
+	c.rec.Add("rns.extend", 1)
+	c.rec.Add("rns.extend.coeffs", uint64(n))
+	extendParallel(t, src, dst, n, workers)
+}
+
+// extendParallel is the uncounted core of Converter.extend, shared with
+// the rns benchmarks. The serial path never builds chunk views (the
+// dispatch closure would be heap-allocated just by existing — see
+// ring.EffectiveWorkers); the parallel path draws pooled view headers per
+// chunk so steady-state conversions allocate nothing either way.
 func extendParallel(t *ExtTable, src, dst [][]uint64, n, workers int) {
+	if ring.EffectiveWorkers(n, workers) == 1 {
+		t.Extend(src, dst)
+		return
+	}
 	ring.ParallelChunked(n, workers, func(_, start, end int) {
-		srcView := make([][]uint64, len(src))
+		v := getViews(len(src), len(dst))
 		for i := range src {
-			srcView[i] = src[i][start:end]
+			v.src[i] = src[i][start:end]
 		}
-		dstView := make([][]uint64, len(dst))
 		for j := range dst {
-			dstView[j] = dst[j][start:end]
+			v.dst[j] = dst[j][start:end]
 		}
-		t.Extend(srcView, dstView)
+		t.Extend(v.src, v.dst)
+		putViews(v)
 	})
+}
+
+// modUpScratch recycles the output-view headers ModUpDigit rebuilds per
+// call (moduli, coefficient slices, sub-rings for every generated limb).
+// Only the coefficient-slice headers alias caller memory; they are cleared
+// on release. Capacity grows to the largest raised basis and sticks.
+type modUpScratch struct {
+	moduli []uint64
+	slices [][]uint64
+	rings  []*ring.SubRing
+}
+
+func (c *Converter) getModUpScratch() *modUpScratch {
+	s := c.upPool.Get().(*modUpScratch)
+	s.moduli = s.moduli[:0]
+	s.slices = s.slices[:0]
+	s.rings = s.rings[:0]
+	return s
+}
+
+func (c *Converter) putModUpScratch(s *modUpScratch) {
+	clear(s.slices)
+	c.upPool.Put(s)
 }
 
 // ModUpDigit implements the ModUp of Algorithm 1 for one key-switching
@@ -136,37 +253,52 @@ func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP
 	scr := c.RingQ.GetScratch()
 	defer c.RingQ.PutScratch(scr)
 	coeff := scr.Coeffs[:end-start]
-	ring.Parallel(end-start, workers, func(k int) {
-		copy(coeff[k][:n], aQ.Coeffs[start+k][:n])
-		c.RingQ.SubRings[start+k].INTT(coeff[k])
-	})
+	if ring.EffectiveWorkers(end-start, workers) == 1 {
+		for k := 0; k < end-start; k++ {
+			copy(coeff[k][:n], aQ.Coeffs[start+k][:n])
+			c.RingQ.SubRings[start+k].INTT(coeff[k])
+		}
+	} else {
+		ring.Parallel(end-start, workers, func(k int) {
+			copy(coeff[k][:n], aQ.Coeffs[start+k][:n])
+			c.RingQ.SubRings[start+k].INTT(coeff[k])
+		})
+	}
 
-	// Output moduli: Q limbs outside the digit, then all P limbs.
-	var outModuli []uint64
-	var outSlices [][]uint64
-	var outRings []*ring.SubRing
+	// Output moduli: Q limbs outside the digit, then all P limbs. The view
+	// headers come from the converter's pool so steady-state ModUp performs
+	// no allocation.
+	sc := c.getModUpScratch()
+	defer c.putModUpScratch(sc)
 	for i := 0; i <= levelQ; i++ {
 		if i >= start && i < end {
 			continue
 		}
-		outModuli = append(outModuli, c.RingQ.Moduli[i])
-		outSlices = append(outSlices, out.Q.Coeffs[i][:n])
-		outRings = append(outRings, c.RingQ.SubRings[i])
+		sc.moduli = append(sc.moduli, c.RingQ.Moduli[i])
+		sc.slices = append(sc.slices, out.Q.Coeffs[i][:n])
+		sc.rings = append(sc.rings, c.RingQ.SubRings[i])
 	}
 	for j := range c.RingP.Moduli {
-		outModuli = append(outModuli, c.RingP.Moduli[j])
-		outSlices = append(outSlices, out.P.Coeffs[j][:n])
-		outRings = append(outRings, c.RingP.SubRings[j])
+		sc.moduli = append(sc.moduli, c.RingP.Moduli[j])
+		sc.slices = append(sc.slices, out.P.Coeffs[j][:n])
+		sc.rings = append(sc.rings, c.RingP.SubRings[j])
 	}
 
 	// NewLimb (Algorithm 1 line 2, slot-wise → coefficient-chunked).
-	extendParallel(c.table(digitModuli, outModuli), coeff, outSlices, n, workers)
+	c.extend(c.table(digitModuli, sc.moduli), coeff, sc.slices, n, workers)
 
 	// NTT the generated limbs (Algorithm 1 line 3, limb-wise) and copy the
 	// untouched digit limbs.
-	ring.Parallel(len(outSlices), workers, func(k int) {
-		outRings[k].NTT(outSlices[k])
-	})
+	outRings, outSlices := sc.rings, sc.slices
+	if ring.EffectiveWorkers(len(outSlices), workers) == 1 {
+		for k := range outSlices {
+			outRings[k].NTT(outSlices[k])
+		}
+	} else {
+		ring.Parallel(len(outSlices), workers, func(k int) {
+			outRings[k].NTT(outSlices[k])
+		})
+	}
 	for i := start; i < end; i++ {
 		copy(out.Q.Coeffs[i][:n], aQ.Coeffs[i][:n])
 	}
@@ -192,34 +324,55 @@ func (c *Converter) ModDown(levelQ int, a PolyQP, out *ring.Poly, workers int) {
 	scrP := c.RingP.GetScratch()
 	defer c.RingP.PutScratch(scrP)
 	pCoeff := scrP.Coeffs[:kP]
-	ring.Parallel(kP, workers, func(j int) {
-		copy(pCoeff[j][:n], a.P.Coeffs[j][:n])
-		c.RingP.SubRings[j].INTT(pCoeff[j])
-	})
+	if ring.EffectiveWorkers(kP, workers) == 1 {
+		for j := 0; j < kP; j++ {
+			copy(pCoeff[j][:n], a.P.Coeffs[j][:n])
+			c.RingP.SubRings[j].INTT(pCoeff[j])
+		}
+	} else {
+		ring.Parallel(kP, workers, func(j int) {
+			copy(pCoeff[j][:n], a.P.Coeffs[j][:n])
+			c.RingP.SubRings[j].INTT(pCoeff[j])
+		})
+	}
 
 	// NewLimb from basis P into each q_i (Algorithm 2 line 3, slot-wise).
+	// The scratch pool is shared across levels, so the full ring's pool
+	// serves here without materializing an AtLevel view.
 	qModuli := c.RingQ.Moduli[:levelQ+1]
-	rq := c.RingQ.AtLevel(levelQ)
-	scrQ := rq.GetScratch()
-	defer rq.PutScratch(scrQ)
+	scrQ := c.RingQ.GetScratch()
+	defer c.RingQ.PutScratch(scrQ)
 	hat := scrQ.Coeffs[:levelQ+1]
-	extendParallel(c.table(c.RingP.Moduli, qModuli), pCoeff, hat, n, workers)
+	c.extend(c.table(c.RingP.Moduli, qModuli), pCoeff, hat, n, workers)
 
 	// (x − x̂)·P^{-1} per limb (Algorithm 2 line 4), staying in NTT form by
 	// transforming the correction limb forward (line 5 folded in).
-	ring.Parallel(levelQ+1, workers, func(i int) {
-		s := c.RingQ.SubRings[i]
-		s.NTT(hat[i])
-		pInv := mathutil.InvMod(ProductMod(c.RingP.Moduli, s.Q), s.Q)
-		pInvShoup := mathutil.ShoupPrecomp(pInv, s.Q)
-		ai, oi := a.Q.Coeffs[i], out.Coeffs[i]
-		hi := hat[i]
-		for j := 0; j < n; j++ {
-			oi[j] = mathutil.MulModShoup(mathutil.SubMod(ai[j], hi[j], s.Q), pInv, pInvShoup, s.Q)
+	if ring.EffectiveWorkers(levelQ+1, workers) == 1 {
+		for i := 0; i <= levelQ; i++ {
+			c.modDownLimb(a, out, hat, n, i)
 		}
-	})
+	} else {
+		ring.Parallel(levelQ+1, workers, func(i int) {
+			c.modDownLimb(a, out, hat, n, i)
+		})
+	}
 	out.Coeffs = out.Coeffs[:levelQ+1]
 	out.IsNTT = true
+}
+
+// modDownLimb is the per-q_i tail of ModDown: forward-NTT the correction
+// limb and apply (x − x̂)·P^{-1}. A named function so the serial path can
+// call it without constructing a dispatch closure.
+func (c *Converter) modDownLimb(a PolyQP, out *ring.Poly, hat [][]uint64, n, i int) {
+	s := c.RingQ.SubRings[i]
+	s.NTT(hat[i])
+	pInv := mathutil.InvMod(ProductMod(c.RingP.Moduli, s.Q), s.Q)
+	pInvShoup := mathutil.ShoupPrecomp(pInv, s.Q)
+	ai, oi := a.Q.Coeffs[i], out.Coeffs[i]
+	hi := hat[i]
+	for j := 0; j < n; j++ {
+		oi[j] = mathutil.MulModShoup(mathutil.SubMod(ai[j], hi[j], s.Q), pInv, pInvShoup, s.Q)
+	}
 }
 
 // Rescale divides a level-levelQ polynomial (NTT form) by its top limb
@@ -251,26 +404,38 @@ func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly, workers in
 		}
 	}
 
-	ring.Parallel(levelQ, workers, func(i int) {
-		s := c.RingQ.SubRings[i]
-		qlInv := mathutil.InvMod(ql%s.Q, s.Q)
-		qlInvShoup := mathutil.ShoupPrecomp(qlInv, s.Q)
-		halfMod := half % s.Q
-
-		// b = (last' − q_ℓ/2) mod q_i, transformed forward.
-		b := scr.Coeffs[i][:n]
-		for j := 0; j < n; j++ {
-			b[j] = mathutil.SubMod(s.Barrett.Reduce(last[j]), halfMod, s.Q)
+	if ring.EffectiveWorkers(levelQ, workers) == 1 {
+		for i := 0; i < levelQ; i++ {
+			c.rescaleLimb(a, out, scr, last, ql, half, n, i)
 		}
-		s.NTT(b)
-
-		ai, oi := a.Coeffs[i], out.Coeffs[i]
-		for j := 0; j < n; j++ {
-			oi[j] = mathutil.MulModShoup(mathutil.SubMod(ai[j], b[j], s.Q), qlInv, qlInvShoup, s.Q)
-		}
-	})
+	} else {
+		ring.Parallel(levelQ, workers, func(i int) {
+			c.rescaleLimb(a, out, scr, last, ql, half, n, i)
+		})
+	}
 	out.Coeffs = out.Coeffs[:levelQ]
 	out.IsNTT = true
+}
+
+// rescaleLimb is the per-q_i body of Rescale, named so the serial path
+// avoids a dispatch closure.
+func (c *Converter) rescaleLimb(a, out, scr *ring.Poly, last []uint64, ql, half uint64, n, i int) {
+	s := c.RingQ.SubRings[i]
+	qlInv := mathutil.InvMod(ql%s.Q, s.Q)
+	qlInvShoup := mathutil.ShoupPrecomp(qlInv, s.Q)
+	halfMod := half % s.Q
+
+	// b = (last' − q_ℓ/2) mod q_i, transformed forward.
+	b := scr.Coeffs[i][:n]
+	for j := 0; j < n; j++ {
+		b[j] = mathutil.SubMod(s.Barrett.Reduce(last[j]), halfMod, s.Q)
+	}
+	s.NTT(b)
+
+	ai, oi := a.Coeffs[i], out.Coeffs[i]
+	for j := 0; j < n; j++ {
+		oi[j] = mathutil.MulModShoup(mathutil.SubMod(ai[j], b[j], s.Q), qlInv, qlInvShoup, s.Q)
+	}
 }
 
 // PModUp implements Algorithm 5: it lifts b ∈ R_Q to P·b ∈ R_{PQ} with
@@ -279,18 +444,30 @@ func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly, workers in
 // functions run in the raised basis (the paper's §3.2).
 func (c *Converter) PModUp(levelQ int, a *ring.Poly, out PolyQP, workers int) {
 	n := c.RingQ.N
-	ring.Parallel(levelQ+1, workers, func(i int) {
-		s := c.RingQ.SubRings[i]
-		pMod := ProductMod(c.RingP.Moduli, s.Q)
-		pShoup := mathutil.ShoupPrecomp(pMod, s.Q)
-		ai, oi := a.Coeffs[i], out.Q.Coeffs[i]
-		for j := 0; j < n; j++ {
-			oi[j] = mathutil.MulModShoup(ai[j], pMod, pShoup, s.Q)
+	if ring.EffectiveWorkers(levelQ+1, workers) == 1 {
+		for i := 0; i <= levelQ; i++ {
+			c.pModUpLimb(a, out, n, i)
 		}
-	})
+	} else {
+		ring.Parallel(levelQ+1, workers, func(i int) {
+			c.pModUpLimb(a, out, n, i)
+		})
+	}
 	for j := range c.RingP.Moduli {
 		clear(out.P.Coeffs[j][:n])
 	}
 	out.Q.IsNTT = a.IsNTT
 	out.P.IsNTT = a.IsNTT
+}
+
+// pModUpLimb is the per-q_i body of PModUp, named so the serial path
+// avoids a dispatch closure.
+func (c *Converter) pModUpLimb(a *ring.Poly, out PolyQP, n, i int) {
+	s := c.RingQ.SubRings[i]
+	pMod := ProductMod(c.RingP.Moduli, s.Q)
+	pShoup := mathutil.ShoupPrecomp(pMod, s.Q)
+	ai, oi := a.Coeffs[i], out.Q.Coeffs[i]
+	for j := 0; j < n; j++ {
+		oi[j] = mathutil.MulModShoup(ai[j], pMod, pShoup, s.Q)
+	}
 }

@@ -1,0 +1,40 @@
+//go:build !race
+
+package rns
+
+import "testing"
+
+// TestConverterAllocFree verifies the steady-state hot path — ModUpDigit
+// and ModDown at workers=1 — performs no per-call heap allocation once
+// tables and pools are warm. A sync.Pool can be drained by a concurrent
+// GC, so a fraction of an allocation per run is tolerated; a per-call
+// allocation (≥ 1 per run) fails. Excluded under the race detector,
+// whose sync.Pool deliberately drops items at random to expose races,
+// making steady-state reuse impossible.
+func TestConverterAllocFree(t *testing.T) {
+	ringQ, ringP := testRings(t, 256, 6, 2)
+	conv := NewConverter(ringQ, ringP)
+	src := fixedSource()
+	levelQ := ringQ.MaxLevel()
+
+	aQ := ringQ.NewPoly()
+	ringQ.SampleUniform(src, aQ)
+	aQ.IsNTT = true
+	up := conv.NewPolyQP(levelQ)
+	down := ringQ.NewPoly()
+
+	// Warm tables, scratch pools and view pools.
+	conv.ModUpDigit(levelQ, 0, 2, aQ, up, 1)
+	conv.ModDown(levelQ, up, down, 1)
+
+	if avg := testing.AllocsPerRun(20, func() {
+		conv.ModUpDigit(levelQ, 0, 2, aQ, up, 1)
+	}); avg >= 1 {
+		t.Errorf("ModUpDigit allocates %.2f times per call in steady state", avg)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		conv.ModDown(levelQ, up, down, 1)
+	}); avg >= 1 {
+		t.Errorf("ModDown allocates %.2f times per call in steady state", avg)
+	}
+}

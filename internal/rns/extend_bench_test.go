@@ -1,0 +1,170 @@
+package rns
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mathutil"
+	"repro/internal/ring"
+)
+
+// benchBases builds a bootstrap-scale modulus layout: an 18-limb Q chain
+// and a 3-limb P basis of 40-bit NTT primes at degree 2^13 — the shape of
+// the raised basis inside key switching at full depth.
+func benchBases(b *testing.B) (q, p []uint64) {
+	b.Helper()
+	primes, err := mathutil.GenerateNTTPrimes(40, 13, 21)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return primes[:18], primes[18:]
+}
+
+func benchInput(tab *ExtTable, n int) (src, dst [][]uint64) {
+	s := fixedSource()
+	src = makeLimbs(len(tab.In), n)
+	for i, q := range tab.In {
+		for c := range src[i] {
+			src[i][c] = s.Uint64() % q
+		}
+	}
+	return src, makeLimbs(len(tab.Out), n)
+}
+
+// BenchmarkExtend sweeps the basis-pair shapes key switching exercises —
+// the ModUp digit extension (narrow → wide), the ModDown correction
+// (P → Q, narrow → wide) and the full-width decomposition (wide → narrow)
+// — comparing the tiled lazy kernel against the retained scalar oracle.
+func BenchmarkExtend(b *testing.B) {
+	const n = 1 << 13
+	qMod, pMod := benchBases(b)
+	shapes := []struct {
+		name    string
+		in, out []uint64
+	}{
+		{"modup_digit_3to18", qMod[:3], append(append([]uint64(nil), qMod[3:]...), pMod...)},
+		{"moddown_3to18", pMod, qMod},
+		{"wide_18to3", qMod, pMod},
+	}
+	for _, sh := range shapes {
+		tab := NewExtTable(sh.in, sh.out)
+		src, dst := benchInput(tab, n)
+		b.Run(sh.name+"/lazy", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * n * (len(sh.in) + len(sh.out))))
+			for i := 0; i < b.N; i++ {
+				tab.Extend(src, dst)
+			}
+		})
+		b.Run(sh.name+"/reference", func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(8 * n * (len(sh.in) + len(sh.out))))
+			for i := 0; i < b.N; i++ {
+				tab.ExtendReference(src, dst)
+			}
+		})
+	}
+}
+
+// BenchmarkModUp measures the full ModUpDigit pipeline (iNTT → NewLimb →
+// NTT) at bootstrap scale, workers=1; steady state must report 0 allocs/op.
+func BenchmarkModUp(b *testing.B) {
+	qMod, pMod := benchBases(b)
+	ringQ, err := ring.NewRing(1<<13, qMod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ringP, err := ring.NewRing(1<<13, pMod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conv := NewConverter(ringQ, ringP)
+	src := fixedSource()
+	levelQ := ringQ.MaxLevel()
+	aQ := ringQ.NewPoly()
+	ringQ.SampleUniform(src, aQ)
+	aQ.IsNTT = true
+	out := conv.NewPolyQP(levelQ)
+	conv.ModUpDigit(levelQ, 0, 3, aQ, out, 1) // warm tables and pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.ModUpDigit(levelQ, 0, 3, aQ, out, 1)
+	}
+}
+
+// BenchmarkModDown measures Algorithm 2 at bootstrap scale, workers=1;
+// steady state must report 0 allocs/op.
+func BenchmarkModDown(b *testing.B) {
+	qMod, pMod := benchBases(b)
+	ringQ, err := ring.NewRing(1<<13, qMod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ringP, err := ring.NewRing(1<<13, pMod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conv := NewConverter(ringQ, ringP)
+	src := fixedSource()
+	levelQ := ringQ.MaxLevel()
+	a := conv.NewPolyQP(levelQ)
+	ringQ.SampleUniform(src, a.Q)
+	ringP.SampleUniform(src, a.P)
+	a.Q.IsNTT, a.P.IsNTT = true, true
+	out := ringQ.NewPoly()
+	conv.ModDown(levelQ, a, out, 1) // warm tables and pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.ModDown(levelQ, a, out, 1)
+	}
+}
+
+// BenchmarkTableKey pins the table-cache hit path: the structural key
+// must keep the lookup allocation-free and off the conversion profile
+// (the old fmt.Sprint key cost ~1µs and several allocations per hit).
+func BenchmarkTableKey(b *testing.B) {
+	qMod, pMod := benchBases(b)
+	ringQ, _ := ring.NewRing(1<<13, qMod)
+	ringP, _ := ring.NewRing(1<<13, pMod)
+	conv := NewConverter(ringQ, ringP)
+	conv.table(pMod, qMod) // populate
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if conv.table(pMod, qMod) == nil {
+			b.Fatal("nil table")
+		}
+	}
+}
+
+// BenchmarkExtendTileSweep documents the tile-size choice in docs/PERF.md:
+// it re-tiles the ModDown-shaped conversion at several block widths by
+// chunking the coefficient axis explicitly through extendParallel's serial
+// path.
+func BenchmarkExtendTileSweep(b *testing.B) {
+	const n = 1 << 13
+	qMod, pMod := benchBases(b)
+	tab := NewExtTable(pMod, qMod)
+	src, dst := benchInput(tab, n)
+	for _, block := range []int{64, 128, 256, 512, 1024} {
+		b.Run(fmt.Sprintf("block%d", block), func(b *testing.B) {
+			v := getViews(len(src), len(dst))
+			defer putViews(v)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for c0 := 0; c0 < n; c0 += block {
+					end := min(c0+block, n)
+					for k := range src {
+						v.src[k] = src[k][c0:end]
+					}
+					for k := range dst {
+						v.dst[k] = dst[k][c0:end]
+					}
+					tab.Extend(v.src, v.dst)
+				}
+			}
+		})
+	}
+}

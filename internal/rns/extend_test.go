@@ -1,0 +1,276 @@
+package rns
+
+import (
+	"math/big"
+	"runtime"
+	"testing"
+
+	"repro/internal/mathutil"
+	"repro/internal/obs"
+)
+
+// makeLimbs allocates an ℓ×n limb matrix.
+func makeLimbs(l, n int) [][]uint64 {
+	m := make([][]uint64, l)
+	for i := range m {
+		m[i] = make([]uint64, n)
+	}
+	return m
+}
+
+// fillResidues writes x mod q for each modulus/coefficient.
+func fillResidues(moduli []uint64, xs []*big.Int, dst [][]uint64) {
+	for i, q := range moduli {
+		bq := new(big.Int).SetUint64(q)
+		for c, x := range xs {
+			dst[i][c] = new(big.Int).Mod(x, bq).Uint64()
+		}
+	}
+}
+
+// TestExtendMatchesReferenceAllBases demands the tiled lazy kernel be
+// bit-identical to the retained scalar oracle on every basis pair the
+// Converter ever builds — all ModUp digit slices [start, end) of the Q
+// chain at every level, and the ModDown P → Q pair at every level — at
+// worker counts {1, 2, GOMAXPROCS}, over coefficient counts that
+// straddle the tile boundary.
+func TestExtendMatchesReferenceAllBases(t *testing.T) {
+	const nQ, nP = 6, 2
+	ringQ, ringP := testRings(t, 32, nQ, nP)
+	src := fixedSource()
+
+	type basisPair struct {
+		name    string
+		in, out []uint64
+	}
+	var pairs []basisPair
+	// ModUpDigit pairs: digit [start, end) at level levelQ.
+	for levelQ := 0; levelQ < nQ; levelQ++ {
+		for start := 0; start <= levelQ; start++ {
+			for end := start + 1; end <= levelQ+1; end++ {
+				var out []uint64
+				for i := 0; i <= levelQ; i++ {
+					if i >= start && i < end {
+						continue
+					}
+					out = append(out, ringQ.Moduli[i])
+				}
+				out = append(out, ringP.Moduli...)
+				pairs = append(pairs, basisPair{
+					name: "modup",
+					in:   ringQ.Moduli[start:end],
+					out:  out,
+				})
+			}
+		}
+	}
+	// ModDown pairs: P → Q[:levelQ+1].
+	for levelQ := 0; levelQ < nQ; levelQ++ {
+		pairs = append(pairs, basisPair{name: "moddown", in: ringP.Moduli, out: ringQ.Moduli[:levelQ+1]})
+	}
+
+	workerCounts := []int{1, 2, runtime.GOMAXPROCS(0)}
+	sizes := []int{1, 7, ExtendTile - 1, ExtendTile, ExtendTile + 1, 2*ExtendTile + 33}
+	for _, n := range sizes {
+		for _, p := range pairs {
+			tab := NewExtTable(p.in, p.out)
+			in := makeLimbs(len(p.in), n)
+			for i, q := range p.in {
+				for c := range in[i] {
+					in[i][c] = src.Uint64() % q
+				}
+			}
+			want := makeLimbs(len(p.out), n)
+			tab.ExtendReference(in, want)
+			wantApprox := makeLimbs(len(p.out), n)
+			tab.ExtendApproxReference(in, wantApprox)
+
+			for _, w := range workerCounts {
+				got := makeLimbs(len(p.out), n)
+				extendParallel(tab, in, got, n, w)
+				for j := range want {
+					for c := range want[j] {
+						if got[j][c] != want[j][c] {
+							t.Fatalf("%s ℓ=%d→%d n=%d workers=%d: Extend[%d][%d] = %d, reference %d",
+								p.name, len(p.in), len(p.out), n, w, j, c, got[j][c], want[j][c])
+						}
+					}
+				}
+			}
+			gotApprox := makeLimbs(len(p.out), n)
+			tab.ExtendApprox(in, gotApprox)
+			for j := range wantApprox {
+				for c := range wantApprox[j] {
+					if gotApprox[j][c] != wantApprox[j][c] {
+						t.Fatalf("%s ℓ=%d→%d n=%d: ExtendApprox[%d][%d] = %d, reference %d",
+							p.name, len(p.in), len(p.out), n, j, c, gotApprox[j][c], wantApprox[j][c])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExtendBigIntProperty pits the production kernel against an exact
+// big.Int CRT reference on randomized bases, deliberately planting
+// coefficients adjacent to the Q-wraparound boundary. Away from the
+// boundary the conversion must be exact; within float64 slack of the
+// boundary the overflow estimate v = floor(Σ y_i/q_i) may be off by one,
+// which shifts the output by exactly ±Q — the documented HPS slack. Any
+// other deviation fails.
+func TestExtendBigIntProperty(t *testing.T) {
+	src := fixedSource()
+	cases := []struct {
+		inBits, nIn, outBits, nOut int
+	}{
+		{30, 4, 31, 3},
+		{40, 6, 41, 2},
+		{50, 3, 52, 4},
+		{59, 5, 60, 3},
+		{28, 1, 45, 2}, // single-limb input: v is always 0, conversion exact
+	}
+	for _, tc := range cases {
+		inPrimes, err := mathutil.GenerateNTTPrimes(tc.inBits, 5, tc.nIn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outPrimes, err := mathutil.GenerateNTTPrimes(tc.outBits, 5, tc.nOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab := NewExtTable(inPrimes, outPrimes)
+		bigQ := bigProduct(inPrimes)
+
+		// Coefficients: a batch of uniform values with the wraparound
+		// neighborhood spliced in at both ends of [0, Q).
+		var xs []*big.Int
+		for _, d := range []int64{1, 2, 3, 17} {
+			xs = append(xs, new(big.Int).Sub(bigQ, big.NewInt(d))) // Q − d
+			xs = append(xs, big.NewInt(d-1))                       // 0, 1, 2, 16
+		}
+		for len(xs) < 600 {
+			x := new(big.Int).SetUint64(src.Uint64())
+			x.Mul(x, new(big.Int).SetUint64(src.Uint64()))
+			x.Mod(x, bigQ)
+			xs = append(xs, x)
+		}
+		n := len(xs)
+		in := makeLimbs(len(inPrimes), n)
+		fillResidues(inPrimes, xs, in)
+		got := makeLimbs(len(outPrimes), n)
+		tab.Extend(in, got)
+
+		// The kernel must also agree with its scalar oracle bit-for-bit on
+		// these hostile inputs (identical float summation order ⇒ identical
+		// rounding of v).
+		ref := makeLimbs(len(outPrimes), n)
+		tab.ExtendReference(in, ref)
+		for j := range got {
+			for c := range got[j] {
+				if got[j][c] != ref[j][c] {
+					t.Fatalf("%d/%d-bit basis: Extend[%d][%d] = %d differs from reference %d",
+						tc.inBits, tc.outBits, j, c, got[j][c], ref[j][c])
+				}
+			}
+		}
+
+		// Boundary slack: frac(Σ y_i/q_i) = x/Q, so only coefficients with
+		// x/Q within float noise of 0 or 1 may round v off by one.
+		const eps = 1e-9
+		qf, _ := new(big.Float).SetInt(bigQ).Float64()
+		for c, x := range xs {
+			xf, _ := new(big.Float).SetInt(x).Float64()
+			frac := xf / qf
+			nearBoundary := frac < eps || frac > 1-eps
+			for j, p := range outPrimes {
+				bp := new(big.Int).SetUint64(p)
+				exact := new(big.Int).Mod(x, bp).Uint64()
+				if got[j][c] == exact {
+					continue
+				}
+				if !nearBoundary {
+					t.Fatalf("%d/%d-bit basis: coeff %d (frac %g) mod %d: got %d, want exact %d",
+						tc.inBits, tc.outBits, c, frac, p, got[j][c], exact)
+				}
+				up := new(big.Int).Add(x, bigQ)
+				down := new(big.Int).Sub(x, bigQ)
+				upMod := new(big.Int).Mod(up, bp).Uint64()
+				downMod := new(big.Int).Mod(down, bp).Uint64()
+				if got[j][c] != upMod && got[j][c] != downMod {
+					t.Fatalf("%d/%d-bit basis: boundary coeff %d mod %d: got %d, want %d or %d (x±Q)",
+						tc.inBits, tc.outBits, c, p, got[j][c], upMod, downMod)
+				}
+			}
+		}
+	}
+}
+
+// TestExtendEmptyInput pins the degenerate contract: extending from an
+// empty basis zeroes the destination for both kernel variants.
+func TestExtendEmptyInput(t *testing.T) {
+	outPrimes, err := mathutil.GenerateNTTPrimes(31, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewExtTable(nil, outPrimes)
+	dst := makeLimbs(2, 16)
+	for j := range dst {
+		for c := range dst[j] {
+			dst[j][c] = 7
+		}
+	}
+	tab.Extend(nil, dst)
+	for j := range dst {
+		for c := range dst[j] {
+			if dst[j][c] != 0 {
+				t.Fatalf("empty-basis Extend left dst[%d][%d] = %d", j, c, dst[j][c])
+			}
+		}
+	}
+}
+
+// TestTableCacheStructuralKey checks the structural key dedupes and
+// separates tables exactly as the old string key did.
+func TestTableCacheStructuralKey(t *testing.T) {
+	ringQ, ringP := testRings(t, 32, 4, 2)
+	conv := NewConverter(ringQ, ringP)
+	t1 := conv.table(ringQ.Moduli[0:2], ringP.Moduli)
+	t2 := conv.table(ringQ.Moduli[0:2], ringP.Moduli)
+	if t1 != t2 {
+		t.Error("identical bases produced distinct cached tables")
+	}
+	t3 := conv.table(ringQ.Moduli[1:3], ringP.Moduli)
+	if t3 == t1 {
+		t.Error("distinct bases share a cached table")
+	}
+	t4 := conv.table(ringQ.Moduli[0:3], ringP.Moduli)
+	if t4 == t1 || t4 == t3 {
+		t.Error("length-differing bases share a cached table")
+	}
+}
+
+// TestExtendCounters checks the converter feeds the rns.extend counters
+// once per basis extension.
+func TestExtendCounters(t *testing.T) {
+	ringQ, ringP := testRings(t, 32, 4, 2)
+	conv := NewConverter(ringQ, ringP)
+	rec := obs.NewRecorder()
+	conv.SetRecorder(rec)
+	src := fixedSource()
+	levelQ := ringQ.MaxLevel()
+
+	aQ := ringQ.NewPoly()
+	ringQ.SampleUniform(src, aQ)
+	aQ.IsNTT = true
+	up := conv.NewPolyQP(levelQ)
+	conv.ModUpDigit(levelQ, 0, 2, aQ, up, 1)
+	down := ringQ.NewPoly()
+	conv.ModDown(levelQ, up, down, 1)
+
+	if got := rec.Counter("rns.extend"); got != 2 {
+		t.Errorf("rns.extend = %d after one ModUp and one ModDown, want 2", got)
+	}
+	if got := rec.Counter("rns.extend.coeffs"); got != uint64(2*ringQ.N) {
+		t.Errorf("rns.extend.coeffs = %d, want %d", got, 2*ringQ.N)
+	}
+}
