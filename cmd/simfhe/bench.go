@@ -40,6 +40,7 @@ type benchWorkload struct {
 }
 
 type benchReport struct {
+	Meta       runMeta         `json:"meta"`
 	GoMaxProcs int             `json:"gomaxprocs"`
 	NumCPU     int             `json:"num_cpu"`
 	Note       string          `json:"note"`
@@ -97,6 +98,7 @@ func benchCmd(args []string) {
 	}
 
 	report := benchReport{
+		Meta:       collectMeta(fmt.Sprintf("suite=parallel workers=%v", counts)),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Note: "outputs are bit-identical at every worker count; speedup needs " +

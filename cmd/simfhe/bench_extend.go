@@ -39,6 +39,7 @@ type extendPipelineResult struct {
 }
 
 type extendReport struct {
+	Meta       runMeta                `json:"meta"`
 	GoMaxProcs int                    `json:"gomaxprocs"`
 	NumCPU     int                    `json:"num_cpu"`
 	LogN       int                    `json:"logN"`
@@ -82,6 +83,7 @@ func benchExtendSuite(outPath string) {
 	src := prng.NewSource(seed)
 
 	report := extendReport{
+		Meta:       collectMeta(fmt.Sprintf("suite=extend logN=%d tile=%d", logN, rns.ExtendTile)),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		LogN:       logN,

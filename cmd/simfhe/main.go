@@ -14,6 +14,10 @@
 //	simfhe bench [-workers=1,2,4] [-out=BENCH_parallel.json]
 //	                         measure the functional library across evaluator
 //	                         worker counts, writing machine-readable JSON
+//	simfhe validate [-strict] [-out=FILE] [-cache-limbs=6]
+//	                         trace the functional evaluator through the cache
+//	                         simulator and compare measured DRAM traffic
+//	                         against the analytic model (calibration report)
 //	simfhe ai                Table 4 on a roofline (ridge points, utilization)
 //	simfhe json              every experiment as a machine-readable report
 //	simfhe run <file>        run a schedule DSL file through the model
@@ -106,6 +110,8 @@ func run(cmd string, args []string) {
 		sweep(args)
 	case "bench":
 		benchCmd(args)
+	case "validate":
+		validateCmd(args)
 	case "ai":
 		aiRoofline()
 	case "json":
@@ -129,9 +135,10 @@ func run(cmd string, args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: simfhe [-debug-addr ADDR] {table4|fig2|fig3|table5|table6|fig6|boot|cost|run|trace|sweep|bench|ai|json|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: simfhe [-debug-addr ADDR] {table4|fig2|fig3|table5|table6|fig6|boot|cost|run|trace|sweep|bench|validate|ai|json|all} [flags]")
 	fmt.Fprintln(os.Stderr, "  run/boot/trace accept -trace-out FILE (Chrome trace JSON) and -metrics-out FILE (Prometheus text)")
 	fmt.Fprintln(os.Stderr, "  bench [-workers 1,2,4] [-out FILE] measures the functional library across worker counts (JSON)")
+	fmt.Fprintln(os.Stderr, "  validate [-strict] [-out FILE] traces the functional evaluator through the cache simulator and compares measured vs modeled DRAM traffic")
 }
 
 // refMachine is the paper's 32 MB reference system (8192 modular

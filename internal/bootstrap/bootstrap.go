@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/ckks"
+	"repro/internal/memtrace"
 	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/ring"
@@ -133,6 +134,13 @@ func (b *Bootstrapper) Evaluator() *ckks.Evaluator { return b.ev }
 // carrying the ckks.* counter deltas accumulated inside the phase.
 func (b *Bootstrapper) SetRecorder(r *obs.Recorder) { b.ev.SetRecorder(r) }
 
+// SetTracer attaches a memory access tracer to the bootstrapper's
+// evaluator; Bootstrap then drops a stream mark at every phase boundary
+// (bootstrap.ModRaise, bootstrap.CoeffToSlot, bootstrap.EvalMod,
+// bootstrap.SlotToCoeff, bootstrap.Done) so the trace can be replayed
+// per phase.
+func (b *Bootstrapper) SetTracer(t *memtrace.Tracer) { b.ev.SetTracer(t) }
+
 // SetWorkers sets the parallelism budget of the underlying evaluator
 // (n ≤ 0 selects GOMAXPROCS); the refreshed ciphertexts are bit-identical
 // for every worker count.
@@ -207,12 +215,15 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 		ct = ev.DropLevel(ct, 0)
 	}
 
+	tr := ev.Tracer()
+	tr.Mark("bootstrap.ModRaise")
 	sp := rec.StartSpan("bootstrap.ModRaise")
 	raised := b.modRaise(ct)
 	sp.End()
 
 	// CoeffToSlot: slots now hold (t_j + i·t_{j+n})/(2n·…) in bit-reversed
 	// order, with the EvalMod normalization folded in.
+	tr.Mark("bootstrap.CoeffToSlot")
 	sp = rec.StartSpan("bootstrap.CoeffToSlot")
 	w := b.cts.apply(ev, raised, b.bparams.HoistedModDown)
 
@@ -223,16 +234,19 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 	sp.End()
 
 	// Approximate modular reduction on each half.
+	tr.Mark("bootstrap.EvalMod")
 	sp = rec.StartSpan("bootstrap.EvalMod")
 	ctReal = b.evalMod(ctReal)
 	ctImag = b.evalMod(ctImag)
 	sp.End()
 
 	// Recombine and return to the coefficient domain.
+	tr.Mark("bootstrap.SlotToCoeff")
 	sp = rec.StartSpan("bootstrap.SlotToCoeff")
 	recombined := ev.Add(ctReal, ev.MulByI(ctImag))
 	out := b.stc.apply(ev, recombined, b.bparams.HoistedModDown)
 	sp.End()
+	tr.Mark("bootstrap.Done")
 
 	// The slots now read the original message directly: every
 	// normalization constant was folded into the DFT matrices, so the

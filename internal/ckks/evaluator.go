@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"repro/internal/mathutil"
+	"repro/internal/memtrace"
 	"repro/internal/obs"
 	"repro/internal/ring"
 	"repro/internal/rns"
@@ -33,6 +34,13 @@ type Evaluator struct {
 	// "ckks.rescale" and "ckks.limbs". A nil recorder costs one nil check
 	// per call.
 	rec *obs.Recorder
+
+	// tr, when non-nil, records the limb-granular memory access stream of
+	// every primitive (internal/memtrace): the ring and rns hooks cover
+	// the generic kernels, and the evaluator adds the operand-class
+	// annotations only it knows — switching-key reads, plaintext tags,
+	// accumulator residency.
+	tr *memtrace.Tracer
 }
 
 // EvaluatorOption configures an Evaluator at construction time.
@@ -106,6 +114,32 @@ func (ev *Evaluator) SetRecorder(r *obs.Recorder) {
 // Recorder returns the attached recorder, which may be nil.
 func (ev *Evaluator) Recorder() *obs.Recorder { return ev.rec }
 
+// SetTracer attaches a memory access tracer (nil detaches it), propagating
+// it to the shared Converter and both rings so every kernel the evaluator
+// reaches records into the same stream. Tracing serializes the basis-
+// extension kernel; run with SetWorkers(1) for a deterministic stream.
+func (ev *Evaluator) SetTracer(t *memtrace.Tracer) {
+	ev.tr = t
+	ev.params.Converter().SetTracer(t)
+	ev.params.RingQ().SetTracer(t)
+	ev.params.RingP().SetTracer(t)
+}
+
+// Tracer returns the attached memory tracer, which may be nil.
+func (ev *Evaluator) Tracer() *memtrace.Tracer { return ev.tr }
+
+// tagPlaintext registers pt's limbs in the tracer's class registry, so the
+// generic ring hooks' ct-class reads of the plaintext are reclassified as
+// plaintext traffic at replay time.
+func (ev *Evaluator) tagPlaintext(pt *Plaintext) {
+	if ev.tr == nil {
+		return
+	}
+	for i := range pt.Value.Coeffs {
+		ev.tr.Tag(pt.Value.Coeffs[i], memtrace.ClassPt)
+	}
+}
+
 // kP returns the number of special (P-basis) limbs, which every raised
 // polynomial carries and the analytic NTT accounting needs.
 func (ev *Evaluator) kP() int { return len(ev.params.RingP().Moduli) }
@@ -159,6 +193,7 @@ func (ev *Evaluator) Neg(ct *Ciphertext) *Ciphertext {
 // AddPlain returns ct + pt (Table 2 PtAdd). The plaintext must share the
 // ciphertext's scale and be at a level ≥ the ciphertext's.
 func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	ev.tagPlaintext(pt)
 	if !sameScale(ct.Scale, pt.Scale) {
 		panic("ckks: AddPlain scale mismatch")
 	}
@@ -170,6 +205,7 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 
 // SubPlain returns ct - pt.
 func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	ev.tagPlaintext(pt)
 	if !sameScale(ct.Scale, pt.Scale) {
 		panic("ckks: SubPlain scale mismatch")
 	}
@@ -182,6 +218,7 @@ func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 // MulPlain returns ct ⊙ pt without rescaling (the caller decides when to
 // Rescale); the output scale is the product of the scales.
 func (ev *Evaluator) MulPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
+	ev.tagPlaintext(pt)
 	rQ := ev.params.RingQ().AtLevel(ct.Level)
 	out := &Ciphertext{C0: rQ.NewPoly(), C1: rQ.NewPoly(), Scale: ct.Scale * pt.Scale, Level: ct.Level}
 	rQ.MulCoeffs(ct.C0, pt.Value, out.C0)
@@ -381,12 +418,22 @@ func (ev *Evaluator) kskInnerProduct(level int, digits []rns.PolyQP, swk *Switch
 	// at the end — one correction-free Barrett per product instead of a
 	// fully reduced multiply plus modular add per digit. The fold restores
 	// the exact canonical residues, so results are unchanged bit-for-bit.
+	// Memory hooks: the fresh accumulators were zeroed on chip (pooled,
+	// untraced), so a leading traced write declares them resident — their
+	// eventual writeback is the model's 2·raised ciphertext writes. Each
+	// digit iteration reads two key limbs (class key) and the shared raised
+	// digit once; the second product's digit reuse is register-resident.
 	ring.Parallel(nQ+nP, workers, func(i int) {
 		if i < nQ {
 			s := rQ.SubRings[i]
 			uQ, vQ := u.Q.Coeffs[i][:n], v.Q.Coeffs[i][:n]
+			ev.tr.Write(uQ)
+			ev.tr.Write(vQ)
 			for j := range digits {
+				ev.tr.ReadClass(ds[j].B.Q.Coeffs[i][:n], memtrace.ClassKey)
+				ev.tr.Read(digits[j].Q.Coeffs[i][:n])
 				s.MulThenAddVecLazy(ds[j].B.Q.Coeffs[i][:n], digits[j].Q.Coeffs[i][:n], uQ)
+				ev.tr.ReadClass(ds[j].A.Q.Coeffs[i][:n], memtrace.ClassKey)
 				s.MulThenAddVecLazy(ds[j].A.Q.Coeffs[i][:n], digits[j].Q.Coeffs[i][:n], vQ)
 			}
 			s.FoldVec(uQ)
@@ -395,8 +442,13 @@ func (ev *Evaluator) kskInnerProduct(level int, digits []rns.PolyQP, swk *Switch
 			k := i - nQ
 			s := rP.SubRings[k]
 			uP, vP := u.P.Coeffs[k][:n], v.P.Coeffs[k][:n]
+			ev.tr.Write(uP)
+			ev.tr.Write(vP)
 			for j := range digits {
+				ev.tr.ReadClass(ds[j].B.P.Coeffs[k][:n], memtrace.ClassKey)
+				ev.tr.Read(digits[j].P.Coeffs[k][:n])
 				s.MulThenAddVecLazy(ds[j].B.P.Coeffs[k][:n], digits[j].P.Coeffs[k][:n], uP)
+				ev.tr.ReadClass(ds[j].A.P.Coeffs[k][:n], memtrace.ClassKey)
 				s.MulThenAddVecLazy(ds[j].A.P.Coeffs[k][:n], digits[j].P.Coeffs[k][:n], vP)
 			}
 			s.FoldVec(uP)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/memtrace"
 	"repro/internal/ring"
 	"repro/internal/rns"
 )
@@ -239,6 +240,20 @@ func (ev *Evaluator) EvalLinearTransformHoistedModDown(ct *Ciphertext, lt *Linea
 			gk := ev.galoisKey(g)
 			ev.expandDigits(&gk.SwitchingKey, len(digits))
 			jobs[i].g, jobs[i].gk = g, gk
+		}
+	}
+
+	// The raised diagonals are plaintext material: tag them so the generic
+	// ring hooks' reads replay as plaintext traffic.
+	if ev.tr != nil {
+		for _, d := range steps {
+			pt := lt.QP[d]
+			for i := range pt.Q.Coeffs {
+				ev.tr.Tag(pt.Q.Coeffs[i], memtrace.ClassPt)
+			}
+			for i := range pt.P.Coeffs {
+				ev.tr.Tag(pt.P.Coeffs[i], memtrace.ClassPt)
+			}
 		}
 	}
 

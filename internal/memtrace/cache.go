@@ -1,0 +1,277 @@
+package memtrace
+
+// The cache simulator: a parametric set-associative LRU cache (capacity /
+// line / ways, mirroring simfhe.CacheConfig's single on-chip capacity)
+// that consumes a recorded Access stream and emits measured DRAM traffic.
+//
+// Policy choices, picked to match the analytic model's accounting:
+//
+//   - Write-allocate without fetch: a write miss installs the line dirty
+//     and does not charge a fill read. Kernels overwrite whole limb rows,
+//     so fetching the stale line would double-count every produced limb.
+//     The hooks record a Write at every point a buffer is (re)filled, so
+//     a later read of that buffer is a hit or a writeback+refill, never a
+//     spurious compulsory miss.
+//   - Lines remember the class they were installed under; writebacks
+//     (evictions and the final Flush) charge that install class. Read
+//     misses charge the accessing event's resolved class. This makes
+//     infinite-cache traffic exactly "compulsory reads in, dirty
+//     footprint out", which the conservation test pins down.
+//   - CapacityBytes == 0 means an infinite fully-associative cache: every
+//     line misses exactly once and nothing is evicted until Flush.
+type Geometry struct {
+	// CapacityBytes is the total cache capacity; 0 simulates an infinite
+	// cache (compulsory misses only).
+	CapacityBytes uint64
+	// LineBytes is the cache-line size; 0 defaults to 64.
+	LineBytes int
+	// Ways is the set associativity; 0 defaults to 8. Ignored for the
+	// infinite cache.
+	Ways int
+}
+
+// DefaultLineBytes and DefaultWays fill zero Geometry fields.
+const (
+	DefaultLineBytes = 64
+	DefaultWays      = 8
+)
+
+func (g Geometry) line() int {
+	if g.LineBytes <= 0 {
+		return DefaultLineBytes
+	}
+	return g.LineBytes
+}
+
+func (g Geometry) ways() int {
+	if g.Ways <= 0 {
+		return DefaultWays
+	}
+	return g.Ways
+}
+
+// sets returns the number of cache sets (≥ 1) for a finite geometry.
+func (g Geometry) sets() int {
+	n := int(g.CapacityBytes) / (g.line() * g.ways())
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Traffic is the measured DRAM traffic of one replay: bytes that crossed
+// the cache boundary, split by direction and operand class, plus hit/miss
+// accounting for diagnostics.
+type Traffic struct {
+	ReadBytes  [NumClasses]uint64
+	WriteBytes [NumClasses]uint64
+	Accesses   uint64 // recorded events replayed
+	LineRefs   uint64 // line-granular references after chopping
+	Hits       uint64
+	Misses     uint64
+}
+
+// TotalRead returns read bytes summed over classes.
+func (t Traffic) TotalRead() uint64 {
+	var s uint64
+	for _, v := range t.ReadBytes {
+		s += v
+	}
+	return s
+}
+
+// TotalWrite returns write bytes summed over classes.
+func (t Traffic) TotalWrite() uint64 {
+	var s uint64
+	for _, v := range t.WriteBytes {
+		s += v
+	}
+	return s
+}
+
+// Total returns all DRAM bytes moved.
+func (t Traffic) Total() uint64 { return t.TotalRead() + t.TotalWrite() }
+
+// line is one resident cache line.
+type line struct {
+	tag   uintptr // line-granular address (addr / lineBytes)
+	stamp uint64  // LRU clock at last touch
+	dirty bool
+	class Class // install class, charged on writeback
+	valid bool
+}
+
+// Sim replays an access stream through one cache geometry.
+type Sim struct {
+	geo      Geometry
+	lineSize uintptr
+	finite   bool
+	sets     [][]line          // finite: sets × ways
+	infinite map[uintptr]*line // infinite: tag → line
+	clock    uint64
+	traffic  Traffic
+}
+
+// NewSim returns an empty simulator for the geometry.
+func NewSim(g Geometry) *Sim {
+	s := &Sim{
+		geo:      g,
+		lineSize: uintptr(g.line()),
+		finite:   g.CapacityBytes > 0,
+	}
+	if s.finite {
+		s.sets = make([][]line, g.sets())
+		for i := range s.sets {
+			s.sets[i] = make([]line, g.ways())
+		}
+	} else {
+		s.infinite = make(map[uintptr]*line)
+	}
+	return s
+}
+
+// Access replays one event whose class has already been resolved.
+func (s *Sim) Access(a Access, class Class) {
+	s.traffic.Accesses++
+	if a.Bytes <= 0 {
+		return
+	}
+	first := a.Addr / s.lineSize
+	last := (a.Addr + uintptr(a.Bytes) - 1) / s.lineSize
+	for tag := first; tag <= last; tag++ {
+		if a.Discard {
+			s.discardLine(tag)
+		} else {
+			s.touchLine(tag, a.Write, class)
+		}
+	}
+}
+
+// discardLine invalidates a dead-scratch line without charging a
+// writeback (Access.Discard). Lines the range never touched — or already
+// evicted — are ignored; a discarded range that was partially written
+// back earlier keeps those charges, which is what real hardware does
+// when the discard hint arrives after eviction.
+func (s *Sim) discardLine(tag uintptr) {
+	if !s.finite {
+		delete(s.infinite, tag)
+		return
+	}
+	set := s.sets[int(tag)%len(s.sets)]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i] = line{}
+			return
+		}
+	}
+}
+
+func (s *Sim) touchLine(tag uintptr, write bool, class Class) {
+	s.traffic.LineRefs++
+	s.clock++
+	if !s.finite {
+		l, ok := s.infinite[tag]
+		if !ok {
+			l = &line{tag: tag, valid: true, class: class}
+			s.infinite[tag] = l
+			s.miss(l, write, class)
+		} else {
+			s.traffic.Hits++
+		}
+		if write {
+			l.dirty = true
+		}
+		return
+	}
+
+	set := s.sets[int(tag)%len(s.sets)]
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag {
+			s.traffic.Hits++
+			l.stamp = s.clock
+			if write {
+				l.dirty = true
+			}
+			return
+		}
+	}
+	victim := &set[0]
+	for i := range set {
+		l := &set[i]
+		if !l.valid {
+			victim = l
+			break
+		}
+		if l.stamp < victim.stamp {
+			victim = l
+		}
+	}
+	// Miss: evict the LRU way (writing back if dirty), install the line.
+	if victim.valid && victim.dirty {
+		s.traffic.WriteBytes[victim.class] += uint64(s.lineSize)
+	}
+	victim.tag = tag
+	victim.valid = true
+	victim.stamp = s.clock
+	victim.dirty = false
+	victim.class = class
+	s.miss(victim, write, class)
+	if write {
+		victim.dirty = true
+	}
+}
+
+// miss charges the DRAM transfer of one installed line: a fill read for
+// read misses, nothing for write misses (write-allocate without fetch).
+func (s *Sim) miss(l *line, write bool, class Class) {
+	s.traffic.Misses++
+	if !write {
+		s.traffic.ReadBytes[class] += uint64(s.lineSize)
+	}
+	l.class = class
+}
+
+// Flush writes back every dirty line, charging its install class, and
+// invalidates the cache. Call once after a replay so produced data that
+// never got evicted still counts as DRAM write traffic.
+func (s *Sim) Flush() {
+	if !s.finite {
+		for _, l := range s.infinite {
+			if l.dirty {
+				s.traffic.WriteBytes[l.class] += uint64(s.lineSize)
+			}
+		}
+		s.infinite = make(map[uintptr]*line)
+		return
+	}
+	for i := range s.sets {
+		for j := range s.sets[i] {
+			l := &s.sets[i][j]
+			if l.valid && l.dirty {
+				s.traffic.WriteBytes[l.class] += uint64(s.lineSize)
+			}
+			*l = line{}
+		}
+	}
+}
+
+// Traffic returns the traffic accumulated so far.
+func (s *Sim) Traffic() Traffic { return s.traffic }
+
+// Measure replays events through a fresh cache of geometry g and flushes,
+// returning the measured traffic. classify resolves the class of events
+// recorded as ClassCt (typically Tracer.Classify, to apply plaintext
+// tags); nil keeps every event's recorded class.
+func Measure(events []Access, g Geometry, classify func(uintptr) Class) Traffic {
+	sim := NewSim(g)
+	for _, a := range events {
+		c := a.Class
+		if c == ClassCt && classify != nil {
+			c = classify(a.Addr)
+		}
+		sim.Access(a, c)
+	}
+	sim.Flush()
+	return sim.Traffic()
+}

@@ -1,0 +1,174 @@
+package memtrace
+
+import "testing"
+
+// stream builds an event over a synthetic address range; the simulator
+// never dereferences addresses, so tests can use arbitrary ones.
+func ev(addr uintptr, bytes int, write bool, class Class) Access {
+	return Access{Addr: addr, Bytes: int32(bytes), Write: write, Class: class}
+}
+
+func TestInfiniteCacheCompulsoryOnly(t *testing.T) {
+	g := Geometry{CapacityBytes: 0, LineBytes: 64}
+	events := []Access{
+		ev(0, 4096, false, ClassCt),        // 64 lines read
+		ev(0, 4096, false, ClassCt),        // all hits
+		ev(8192, 4096, true, ClassScratch), // 64 lines written, no fill
+		ev(8192, 4096, false, ClassCt),     // hits: resident from the write
+	}
+	tr := Measure(events, g, nil)
+	if tr.ReadBytes[ClassCt] != 4096 {
+		t.Errorf("ct read = %d, want 4096 (compulsory only)", tr.ReadBytes[ClassCt])
+	}
+	// Writeback charges the install class (scratch), at flush.
+	if tr.WriteBytes[ClassScratch] != 4096 {
+		t.Errorf("scratch write = %d, want 4096", tr.WriteBytes[ClassScratch])
+	}
+	if tr.TotalWrite() != 4096 || tr.TotalRead() != 4096 {
+		t.Errorf("totals = r%d w%d", tr.TotalRead(), tr.TotalWrite())
+	}
+}
+
+func TestWriteAllocateNoFetch(t *testing.T) {
+	g := Geometry{CapacityBytes: 1 << 20, LineBytes: 64, Ways: 8}
+	tr := Measure([]Access{ev(0, 640, true, ClassCt)}, g, nil)
+	if tr.TotalRead() != 0 {
+		t.Errorf("write miss charged a fill read: %d bytes", tr.TotalRead())
+	}
+	if tr.TotalWrite() != 640 {
+		t.Errorf("flush writeback = %d, want 640", tr.TotalWrite())
+	}
+}
+
+func TestEvictionWritebackChargesInstallClass(t *testing.T) {
+	// One set (64 B × 1 way): every distinct line evicts the previous one.
+	g := Geometry{CapacityBytes: 64, LineBytes: 64, Ways: 1}
+	events := []Access{
+		ev(0, 64, true, ClassScratch), // install dirty as scratch
+		ev(64, 64, false, ClassKey),   // evicts line 0 → scratch writeback, key fill
+	}
+	tr := Measure(events, g, nil)
+	if tr.WriteBytes[ClassScratch] != 64 {
+		t.Errorf("eviction writeback class: scratch=%d", tr.WriteBytes[ClassScratch])
+	}
+	if tr.ReadBytes[ClassKey] != 64 {
+		t.Errorf("read miss class: key=%d", tr.ReadBytes[ClassKey])
+	}
+	if tr.TotalWrite() != 64 {
+		t.Errorf("clean key line must not write back: w=%d", tr.TotalWrite())
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// One set, 2 ways. Touch A, B, then A again; C must evict B (LRU).
+	g := Geometry{CapacityBytes: 128, LineBytes: 64, Ways: 2}
+	s := NewSim(g)
+	s.Access(ev(0, 64, false, ClassCt), ClassCt)    // A miss
+	s.Access(ev(64, 64, false, ClassCt), ClassCt)   // B miss
+	s.Access(ev(0, 64, false, ClassCt), ClassCt)    // A hit
+	s.Access(ev(1024, 64, false, ClassCt), ClassCt) // C miss, evicts B
+	s.Access(ev(0, 64, false, ClassCt), ClassCt)    // A still resident
+	s.Access(ev(64, 64, false, ClassCt), ClassCt)   // B was evicted: miss
+	got := s.Traffic()
+	if got.Hits != 2 || got.Misses != 4 {
+		t.Errorf("hits=%d misses=%d, want 2/4", got.Hits, got.Misses)
+	}
+}
+
+func TestSetIndexingSpreadsLines(t *testing.T) {
+	// 4 KiB, 64 B lines, 8 ways → 8 sets. A stride-8-lines stream maps to
+	// one set and thrashes; a dense stream fits.
+	g := Geometry{CapacityBytes: 4096, LineBytes: 64, Ways: 8}
+	dense := NewSim(g)
+	for rep := 0; rep < 2; rep++ {
+		for i := uintptr(0); i < 32; i++ {
+			dense.Access(ev(i*64, 64, false, ClassCt), ClassCt)
+		}
+	}
+	if tr := dense.Traffic(); tr.Misses != 32 {
+		t.Errorf("dense working set should fit: misses=%d, want 32", tr.Misses)
+	}
+	strided := NewSim(g)
+	for rep := 0; rep < 2; rep++ {
+		for i := uintptr(0); i < 16; i++ {
+			strided.Access(ev(i*64*8, 64, false, ClassCt), ClassCt)
+		}
+	}
+	if tr := strided.Traffic(); tr.Misses != 32 {
+		t.Errorf("16 lines in one 8-way set must thrash: misses=%d, want 32", tr.Misses)
+	}
+}
+
+func TestMeasureAppliesClassifier(t *testing.T) {
+	g := Geometry{LineBytes: 64}
+	events := []Access{
+		ev(0, 64, false, ClassCt),     // classifier promotes to pt
+		ev(4096, 64, false, ClassKey), // explicit key is kept
+	}
+	classify := func(addr uintptr) Class {
+		if addr < 1024 {
+			return ClassPt
+		}
+		return ClassCt
+	}
+	tr := Measure(events, g, classify)
+	if tr.ReadBytes[ClassPt] != 64 || tr.ReadBytes[ClassKey] != 64 || tr.ReadBytes[ClassCt] != 0 {
+		t.Errorf("per-class reads = %v", tr.ReadBytes)
+	}
+}
+
+func TestLineChopping(t *testing.T) {
+	// A 70-byte access at offset 60 spans bytes 60..129: lines 0, 1, 2.
+	g := Geometry{LineBytes: 64}
+	trf := Measure([]Access{ev(60, 70, false, ClassCt)}, g, nil)
+	if trf.LineRefs != 3 || trf.ReadBytes[ClassCt] != 3*64 {
+		t.Errorf("refs=%d read=%d, want 3 refs / 192 B", trf.LineRefs, trf.ReadBytes[ClassCt])
+	}
+	// Zero-byte accesses are counted but touch nothing.
+	trf = Measure([]Access{ev(0, 0, false, ClassCt)}, g, nil)
+	if trf.Accesses != 1 || trf.LineRefs != 0 {
+		t.Errorf("zero-byte access: %+v", trf)
+	}
+}
+
+func TestGeometryDefaults(t *testing.T) {
+	var g Geometry
+	if g.line() != 64 || g.ways() != 8 {
+		t.Errorf("defaults: line=%d ways=%d", g.line(), g.ways())
+	}
+	if s := (Geometry{CapacityBytes: 100}).sets(); s != 1 {
+		t.Errorf("tiny capacity must clamp to 1 set, got %d", s)
+	}
+	if s := (Geometry{CapacityBytes: 1 << 15, LineBytes: 64, Ways: 8}).sets(); s != 64 {
+		t.Errorf("32 KiB / 64 B / 8 ways = 64 sets, got %d", s)
+	}
+}
+
+func TestDiscardDropsDirtyLines(t *testing.T) {
+	dirty := []Access{
+		ev(0, 640, true, ClassScratch),
+		{Addr: 0, Bytes: 640, Discard: true, Class: ClassScratch},
+	}
+	// Finite cache: discarded dirty lines are invalidated, not written back.
+	g := Geometry{CapacityBytes: 1 << 20, LineBytes: 64, Ways: 8}
+	if tr := Measure(dirty, g, nil); tr.TotalWrite() != 0 {
+		t.Errorf("finite: discarded dirty lines wrote back %d bytes", tr.TotalWrite())
+	}
+	// Infinite cache: same, the flush must find nothing dirty.
+	if tr := Measure(dirty, Geometry{LineBytes: 64}, nil); tr.TotalWrite() != 0 {
+		t.Errorf("infinite: discarded dirty lines wrote back %d bytes", tr.TotalWrite())
+	}
+	// A later read of a discarded range is a fresh compulsory miss.
+	reread := append(append([]Access{}, dirty...), ev(0, 64, false, ClassCt))
+	if tr := Measure(reread, Geometry{LineBytes: 64}, nil); tr.ReadBytes[ClassCt] != 64 {
+		t.Errorf("read after discard = %d bytes, want 64 (compulsory)", tr.ReadBytes[ClassCt])
+	}
+	// A partial discard keeps the untouched lines dirty.
+	partial := []Access{
+		ev(0, 640, true, ClassScratch),
+		{Addr: 0, Bytes: 320, Discard: true, Class: ClassScratch},
+	}
+	if tr := Measure(partial, g, nil); tr.WriteBytes[ClassScratch] != 320 {
+		t.Errorf("partial discard: writeback = %d bytes, want 320", tr.WriteBytes[ClassScratch])
+	}
+}

@@ -18,20 +18,54 @@ package obs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Recorder collects spans, counters and gauges. The zero value is NOT
 // ready for use — construct with NewRecorder. A nil *Recorder is the
 // no-op recorder: every method returns immediately.
+//
+// Counters are sharded: each name maps (via a sync.Map) to its own
+// *atomic.Uint64, so concurrent Add calls on hot kernels (ring.ntt is
+// incremented once per limb per transform) scale without serializing on
+// the recorder mutex. The mutex still guards spans and gauges, which are
+// cold by comparison.
 type Recorder struct {
 	mu       sync.Mutex
 	start    time.Time
 	now      func() time.Time // injectable clock for deterministic tests
 	spans    []SpanRecord
-	counters map[string]uint64
+	counters sync.Map // string → *atomic.Uint64
 	gauges   map[string]float64
-	nextID   uint64
+	nextID   atomic.Uint64
+}
+
+// counter returns the atomic cell for name, creating it on first use.
+// The Load fast path avoids the allocation LoadOrStore would need.
+func (r *Recorder) counter(name string) *atomic.Uint64 {
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*atomic.Uint64)
+	}
+	c, _ := r.counters.LoadOrStore(name, new(atomic.Uint64))
+	return c.(*atomic.Uint64)
+}
+
+// counterSnapshot copies every non-zero counter into a fresh map (nil
+// when all counters are zero, matching the pre-sharding map semantics
+// where absent and zero were indistinguishable).
+func (r *Recorder) counterSnapshot() map[string]uint64 {
+	var out map[string]uint64
+	r.counters.Range(func(k, v any) bool {
+		if n := v.(*atomic.Uint64).Load(); n > 0 {
+			if out == nil {
+				out = make(map[string]uint64)
+			}
+			out[k.(string)] = n
+		}
+		return true
+	})
+	return out
 }
 
 // SpanRecord is one finished span. Times are relative to the recorder's
@@ -61,10 +95,9 @@ type Span struct {
 // NewRecorder returns an empty, enabled recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
-		start:    time.Now(),
-		now:      time.Now,
-		counters: make(map[string]uint64),
-		gauges:   make(map[string]float64),
+		start:  time.Now(),
+		now:    time.Now,
+		gauges: make(map[string]float64),
 	}
 }
 
@@ -87,14 +120,8 @@ func (s *Span) StartChild(name string) *Span {
 }
 
 func (r *Recorder) startSpan(name string, parent uint64) *Span {
-	r.mu.Lock()
-	r.nextID++
-	id := r.nextID
-	snap := make(map[string]uint64, len(r.counters))
-	for k, v := range r.counters {
-		snap[k] = v
-	}
-	r.mu.Unlock()
+	id := r.nextID.Add(1)
+	snap := r.counterSnapshot()
 	return &Span{r: r, id: id, parent: parent, name: name, start: r.now(), snap: snap}
 }
 
@@ -105,17 +132,18 @@ func (s *Span) End() {
 	}
 	r := s.r
 	end := r.now()
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	var delta map[string]uint64
-	for k, v := range r.counters {
-		if d := v - s.snap[k]; d > 0 {
+	r.counters.Range(func(k, v any) bool {
+		if d := v.(*atomic.Uint64).Load() - s.snap[k.(string)]; d > 0 {
 			if delta == nil {
 				delta = make(map[string]uint64)
 			}
-			delta[k] = d
+			delta[k.(string)] = d
 		}
-	}
+		return true
+	})
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	r.spans = append(r.spans, SpanRecord{
 		ID:       s.id,
 		Parent:   s.parent,
@@ -126,14 +154,14 @@ func (s *Span) End() {
 	})
 }
 
-// Add increments a monotonic counter.
+// Add increments a monotonic counter. It is lock-free after the first
+// Add of each name (one atomic add on the counter's own cell), so it is
+// safe to call from tight parallel loops.
 func (r *Recorder) Add(name string, delta uint64) {
 	if r == nil {
 		return
 	}
-	r.mu.Lock()
-	r.counters[name] += delta
-	r.mu.Unlock()
+	r.counter(name).Add(delta)
 }
 
 // SetGauge sets a gauge to the given value.
@@ -152,9 +180,10 @@ func (r *Recorder) Counter(name string) uint64 {
 	if r == nil {
 		return 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.counters[name]
+	if c, ok := r.counters.Load(name); ok {
+		return c.(*atomic.Uint64).Load()
+	}
+	return 0
 }
 
 // Reset drops all recorded spans and zeroes counters and gauges.
@@ -164,9 +193,13 @@ func (r *Recorder) Reset() {
 	}
 	r.mu.Lock()
 	r.spans = nil
-	r.counters = make(map[string]uint64)
 	r.gauges = make(map[string]float64)
 	r.mu.Unlock()
+	// sync.Map cannot be reassigned (it embeds a Mutex); delete in place.
+	r.counters.Range(func(k, _ any) bool {
+		r.counters.Delete(k)
+		return true
+	})
 }
 
 // Snapshot is an immutable copy of a recorder's state. Exporters operate
@@ -183,17 +216,16 @@ func (r *Recorder) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
+	s := Snapshot{Counters: make(map[string]uint64)}
+	r.counters.Range(func(k, v any) bool {
+		s.Counters[k.(string)] = v.(*atomic.Uint64).Load()
+		return true
+	})
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s := Snapshot{
-		Spans:    make([]SpanRecord, len(r.spans)),
-		Counters: make(map[string]uint64, len(r.counters)),
-		Gauges:   make(map[string]float64, len(r.gauges)),
-	}
+	s.Spans = make([]SpanRecord, len(r.spans))
 	copy(s.Spans, r.spans)
-	for k, v := range r.counters {
-		s.Counters[k] = v
-	}
+	s.Gauges = make(map[string]float64, len(r.gauges))
 	for k, v := range r.gauges {
 		s.Gauges[k] = v
 	}

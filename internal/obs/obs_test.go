@@ -168,3 +168,38 @@ func BenchmarkEnabledRecorder(b *testing.B) {
 		sp.End()
 	}
 }
+
+// BenchmarkCounterAddContended measures Add under contention from every
+// P: the workload of parallel limb loops all bumping ring.ntt. The
+// sharded (sync.Map + atomic) recorder should scale; compare against
+// BenchmarkCounterAddMutexBaseline, the pre-sharding design.
+func BenchmarkCounterAddContended(b *testing.B) {
+	r := NewRecorder()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Add("ring.ntt", 1)
+		}
+	})
+	if got := r.Counter("ring.ntt"); got != uint64(b.N) {
+		b.Fatalf("count = %d, want %d", got, b.N)
+	}
+}
+
+// BenchmarkCounterAddMutexBaseline is the old single-mutex counter map,
+// kept as the comparison point for the sharded recorder.
+func BenchmarkCounterAddMutexBaseline(b *testing.B) {
+	var mu sync.Mutex
+	counters := map[string]uint64{}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			mu.Lock()
+			counters["ring.ntt"]++
+			mu.Unlock()
+		}
+	})
+	if got := counters["ring.ntt"]; got != uint64(b.N) {
+		b.Fatalf("count = %d, want %d", got, b.N)
+	}
+}

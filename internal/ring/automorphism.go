@@ -108,11 +108,13 @@ func (r *Ring) AutomorphismNTT(p *Poly, k uint64, out *Poly) {
 	}
 	r.checkCompat(p, out)
 	t := r.autoTable(k)
-	for limb := range r.SubRings {
+	for limb, s := range r.SubRings {
 		src, dst := p.Coeffs[limb], out.Coeffs[limb]
+		s.tr.Read(src[:r.N])
 		for i, j := range t {
 			dst[i] = src[j]
 		}
+		s.tr.Write(dst[:r.N])
 	}
 	out.IsNTT = true
 }

@@ -15,6 +15,8 @@ import (
 // product), with a single exact-reduction sweep at the end. Moduli are
 // capped at 61 bits (mathutil.MaxModulusBits) so 4q never overflows.
 func (s *SubRing) NTT(p []uint64) {
+	s.rec.Add("ring.ntt", 1)
+	s.tr.Read(p)
 	n, q := s.N, s.Q
 	twoQ := 2 * q
 	t := n
@@ -45,6 +47,7 @@ func (s *SubRing) NTT(p []uint64) {
 		}
 		p[j] = v
 	}
+	s.tr.Write(p)
 }
 
 // lazyMulShoup returns (x·w) mod q lazily in [0, 2q), valid for any
@@ -61,6 +64,8 @@ func lazyMulShoup(x, w, wShoup, q uint64) uint64 {
 // Lazy reduction mirrors NTT: sums stay below 4q (folded to < 2q before
 // each butterfly); the closing N^{-1} sweep performs the exact reduction.
 func (s *SubRing) INTT(p []uint64) {
+	s.rec.Add("ring.intt", 1)
+	s.tr.Read(p)
 	n, q := s.N, s.Q
 	twoQ := 2 * q
 	t := 1
@@ -91,6 +96,7 @@ func (s *SubRing) INTT(p []uint64) {
 		v := mathutil.MulModShoup(lazyReduce(p[j], q), s.nInv, s.nInvShoup, q)
 		p[j] = v
 	}
+	s.tr.Write(p)
 }
 
 // lazyReduce folds a value < 4q into [0, q).

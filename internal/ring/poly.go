@@ -97,9 +97,12 @@ func (r *Ring) Add(a, b, out *Poly) {
 	for i, s := range r.SubRings {
 		q := s.Q
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		s.tr.Read(ai[:r.N])
+		s.tr.Read(bi[:r.N])
 		for j := range oi[:r.N] {
 			oi[j] = mathutil.AddMod(ai[j], bi[j], q)
 		}
+		s.tr.Write(oi[:r.N])
 	}
 	out.IsNTT = a.IsNTT
 }
@@ -110,9 +113,12 @@ func (r *Ring) Sub(a, b, out *Poly) {
 	for i, s := range r.SubRings {
 		q := s.Q
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		s.tr.Read(ai[:r.N])
+		s.tr.Read(bi[:r.N])
 		for j := range oi[:r.N] {
 			oi[j] = mathutil.SubMod(ai[j], bi[j], q)
 		}
+		s.tr.Write(oi[:r.N])
 	}
 	out.IsNTT = a.IsNTT
 }
@@ -123,9 +129,11 @@ func (r *Ring) Neg(a, out *Poly) {
 	for i, s := range r.SubRings {
 		q := s.Q
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		s.tr.Read(ai[:r.N])
 		for j := range oi[:r.N] {
 			oi[j] = mathutil.NegMod(ai[j], q)
 		}
+		s.tr.Write(oi[:r.N])
 	}
 	out.IsNTT = a.IsNTT
 }
@@ -137,9 +145,12 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) {
 	for i, s := range r.SubRings {
 		br := s.Barrett
 		ai, bi, oi := a.Coeffs[i], b.Coeffs[i], out.Coeffs[i]
+		s.tr.Read(ai[:r.N])
+		s.tr.Read(bi[:r.N])
 		for j := range oi[:r.N] {
 			oi[j] = br.MulMod(ai[j], bi[j])
 		}
+		s.tr.Write(oi[:r.N])
 	}
 	out.IsNTT = a.IsNTT
 }
@@ -148,7 +159,11 @@ func (r *Ring) MulCoeffs(a, b, out *Poly) {
 func (r *Ring) MulCoeffsThenAdd(a, b, out *Poly) {
 	r.checkCompat(a, b, out)
 	for i, s := range r.SubRings {
+		s.tr.Read(a.Coeffs[i][:r.N])
+		s.tr.Read(b.Coeffs[i][:r.N])
+		s.tr.Read(out.Coeffs[i][:r.N])
 		s.MulThenAddVec(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i][:r.N])
+		s.tr.Write(out.Coeffs[i][:r.N])
 	}
 	out.IsNTT = a.IsNTT
 }
@@ -204,7 +219,11 @@ func (s *SubRing) FoldVec(acc []uint64) {
 func (r *Ring) MulCoeffsThenAddLazy(a, b, out *Poly) {
 	r.checkCompat(a, b, out)
 	for i, s := range r.SubRings {
+		s.tr.Read(a.Coeffs[i][:r.N])
+		s.tr.Read(b.Coeffs[i][:r.N])
+		s.tr.Read(out.Coeffs[i][:r.N])
 		s.MulThenAddVecLazy(a.Coeffs[i], b.Coeffs[i], out.Coeffs[i][:r.N])
+		s.tr.Write(out.Coeffs[i][:r.N])
 	}
 	out.IsNTT = a.IsNTT
 }
@@ -213,7 +232,9 @@ func (r *Ring) MulCoeffsThenAddLazy(a, b, out *Poly) {
 func (r *Ring) Fold(p *Poly) {
 	r.checkCompat(p)
 	for i, s := range r.SubRings {
+		s.tr.Read(p.Coeffs[i][:r.N])
 		s.FoldVec(p.Coeffs[i][:r.N])
+		s.tr.Write(p.Coeffs[i][:r.N])
 	}
 }
 
@@ -224,9 +245,11 @@ func (r *Ring) MulScalar(a *Poly, c uint64, out *Poly) {
 		ci := s.Barrett.Reduce(c)
 		cs := mathutil.ShoupPrecomp(ci, s.Q)
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		s.tr.Read(ai[:r.N])
 		for j := range oi[:r.N] {
 			oi[j] = mathutil.MulModShoup(ai[j], ci, cs, s.Q)
 		}
+		s.tr.Write(oi[:r.N])
 	}
 	out.IsNTT = a.IsNTT
 }
@@ -239,6 +262,7 @@ func (r *Ring) AddScalar(a *Poly, c uint64, out *Poly) {
 	for i, s := range r.SubRings {
 		ci := s.Barrett.Reduce(c)
 		ai, oi := a.Coeffs[i], out.Coeffs[i]
+		s.tr.Read(ai[:r.N])
 		if a.IsNTT {
 			for j := range oi[:r.N] {
 				oi[j] = mathutil.AddMod(ai[j], ci, s.Q)
@@ -247,6 +271,7 @@ func (r *Ring) AddScalar(a *Poly, c uint64, out *Poly) {
 			copy(oi[:r.N], ai[:r.N])
 			oi[0] = mathutil.AddMod(ai[0], ci, s.Q)
 		}
+		s.tr.Write(oi[:r.N])
 	}
 	out.IsNTT = a.IsNTT
 }

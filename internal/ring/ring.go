@@ -14,6 +14,8 @@ import (
 	"math/bits"
 
 	"repro/internal/mathutil"
+	"repro/internal/memtrace"
+	"repro/internal/obs"
 )
 
 // SubRing holds the per-modulus precomputations for negacyclic NTTs of
@@ -37,6 +39,13 @@ type SubRing struct {
 
 	nInv      uint64 // N^{-1} mod q, folded into the inverse transform
 	nInvShoup uint64
+
+	// Optional observability attachments, shared by every AtLevel view
+	// (views alias the SubRing pointers). Both are nil-safe no-ops when
+	// detached; rec counts kernel invocations, tr records the limb
+	// access stream for cache replay.
+	rec *obs.Recorder
+	tr  *memtrace.Tracer
 }
 
 // newSubRing builds the NTT tables for prime q and length N.
@@ -130,6 +139,32 @@ func NewRing(n int, moduli []uint64) (*Ring, error) {
 
 // MaxLevel returns the highest level (index of the last modulus).
 func (r *Ring) MaxLevel() int { return len(r.Moduli) - 1 }
+
+// SetRecorder attaches rec (nil detaches) to every sub-ring, enabling the
+// ring.ntt / ring.intt kernel counters. AtLevel views share sub-rings, so
+// attaching to the full ring covers every view and vice versa.
+func (r *Ring) SetRecorder(rec *obs.Recorder) {
+	for _, s := range r.SubRings {
+		s.rec = rec
+	}
+}
+
+// SetTracer attaches t (nil detaches) to every sub-ring, enabling the
+// limb-granular memory access stream. Like SetRecorder, attachment is
+// shared across AtLevel views.
+func (r *Ring) SetTracer(t *memtrace.Tracer) {
+	for _, s := range r.SubRings {
+		s.tr = t
+	}
+}
+
+// Tracer returns the attached memory tracer, or nil when detached.
+func (r *Ring) Tracer() *memtrace.Tracer {
+	if len(r.SubRings) == 0 {
+		return nil
+	}
+	return r.SubRings[0].tr
+}
 
 // AtLevel returns a shallow view of the ring restricted to moduli [0, level].
 // The returned Ring shares all precomputed tables with r.

@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"repro/internal/mathutil"
+	"repro/internal/memtrace"
 )
 
 // ExtendTile is the cache-blocking width of the basis-extension kernel:
@@ -289,6 +290,41 @@ func (t *ExtTable) extendTile(src, dst [][]uint64, c0, b int, sc *extScratch, ex
 			}
 		}
 	}
+}
+
+// ExtendTraced is Extend with the tile-granular memory access stream
+// recorded into tr: per tile, one read of each source row segment
+// (srcClass) and one write of each destination row segment (dstClass) —
+// exactly the NewLimb input/output traffic the analytic model charges.
+// The tile scratch (y, vf, v, hi, lo — ≤ ~96 KiB by construction, see
+// ExtendTile) models the on-chip working set of MAD's limb re-ordering
+// and is deliberately not recorded: its stage-2 row re-reads never leave
+// the cache level the tile was sized for. The tracer is a parameter
+// rather than a table field because ExtTables are cached and shared
+// across converters and goroutines. Runs serially; callers that trace
+// accept the serialization.
+func (t *ExtTable) ExtendTraced(src, dst [][]uint64, tr *memtrace.Tracer, srcClass, dstClass memtrace.Class) {
+	t.checkShapes(src, dst)
+	if len(t.In) == 0 {
+		for j := range dst {
+			clear(dst[j])
+			tr.WriteClass(dst[j], dstClass)
+		}
+		return
+	}
+	n := len(src[0])
+	sc := t.scratch.Get().(*extScratch)
+	for c0 := 0; c0 < n; c0 += ExtendTile {
+		b := min(ExtendTile, n-c0)
+		for i := range src {
+			tr.ReadClass(src[i][c0:c0+b], srcClass)
+		}
+		t.extendTile(src, dst, c0, b, sc, true)
+		for j := range dst {
+			tr.WriteClass(dst[j][c0:c0+b], dstClass)
+		}
+	}
+	t.scratch.Put(sc)
 }
 
 // ExtendReference is the original scalar NewLimb kernel: a full Barrett

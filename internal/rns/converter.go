@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/mathutil"
+	"repro/internal/memtrace"
 	"repro/internal/obs"
 	"repro/internal/ring"
 )
@@ -47,6 +48,12 @@ type Converter struct {
 	// extensions performed) and "rns.extend.coeffs" (coefficients
 	// converted). A nil recorder costs one nil check per conversion.
 	rec *obs.Recorder
+
+	// tr, when non-nil, records the limb-granular memory access stream of
+	// every conversion for cache replay (internal/memtrace). Tracing
+	// serializes the basis-extension kernel; a nil tracer costs one nil
+	// check per hook.
+	tr *memtrace.Tracer
 }
 
 // NewConverter builds a Converter for the given modulus chains. RingP may
@@ -64,6 +71,10 @@ func NewConverter(ringQ, ringP *ring.Ring) *Converter {
 // SetRecorder attaches an observability recorder (nil detaches it). Not
 // safe to call concurrently with conversions.
 func (c *Converter) SetRecorder(r *obs.Recorder) { c.rec = r }
+
+// SetTracer attaches a memory access tracer (nil detaches it). Not safe
+// to call concurrently with conversions.
+func (c *Converter) SetTracer(t *memtrace.Tracer) { c.tr = t }
 
 // NewPolyQP allocates a zero raised polynomial at the given Q level.
 func (c *Converter) NewPolyQP(levelQ int) PolyQP {
@@ -181,9 +192,13 @@ func putViews(v *extendViews) {
 // the result is bit-identical to a single serial Extend. The kernel's
 // internal tiling composes with any chunk boundaries: tiles restart at
 // each chunk's origin, and no arithmetic crosses coefficients.
-func (c *Converter) extend(t *ExtTable, src, dst [][]uint64, n, workers int) {
+func (c *Converter) extend(t *ExtTable, src, dst [][]uint64, n, workers int, srcClass, dstClass memtrace.Class) {
 	c.rec.Add("rns.extend", 1)
 	c.rec.Add("rns.extend.coeffs", uint64(n))
+	if c.tr != nil {
+		t.ExtendTraced(src, dst, c.tr, srcClass, dstClass)
+		return
+	}
 	extendParallel(t, src, dst, n, workers)
 }
 
@@ -255,12 +270,16 @@ func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP
 	coeff := scr.Coeffs[:end-start]
 	if ring.EffectiveWorkers(end-start, workers) == 1 {
 		for k := 0; k < end-start; k++ {
+			c.tr.Read(aQ.Coeffs[start+k][:n])
 			copy(coeff[k][:n], aQ.Coeffs[start+k][:n])
+			c.tr.WriteClass(coeff[k][:n], memtrace.ClassScratch)
 			c.RingQ.SubRings[start+k].INTT(coeff[k])
 		}
 	} else {
 		ring.Parallel(end-start, workers, func(k int) {
+			c.tr.Read(aQ.Coeffs[start+k][:n])
 			copy(coeff[k][:n], aQ.Coeffs[start+k][:n])
+			c.tr.WriteClass(coeff[k][:n], memtrace.ClassScratch)
 			c.RingQ.SubRings[start+k].INTT(coeff[k])
 		})
 	}
@@ -285,7 +304,8 @@ func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP
 	}
 
 	// NewLimb (Algorithm 1 line 2, slot-wise → coefficient-chunked).
-	c.extend(c.table(digitModuli, sc.moduli), coeff, sc.slices, n, workers)
+	c.extend(c.table(digitModuli, sc.moduli), coeff, sc.slices, n, workers,
+		memtrace.ClassScratch, memtrace.ClassCt)
 
 	// NTT the generated limbs (Algorithm 1 line 3, limb-wise) and copy the
 	// untouched digit limbs.
@@ -300,7 +320,9 @@ func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP
 		})
 	}
 	for i := start; i < end; i++ {
+		c.tr.Read(aQ.Coeffs[i][:n])
 		copy(out.Q.Coeffs[i][:n], aQ.Coeffs[i][:n])
+		c.tr.Write(out.Q.Coeffs[i][:n])
 	}
 	out.Q.IsNTT = true
 	out.P.IsNTT = true
@@ -326,12 +348,16 @@ func (c *Converter) ModDown(levelQ int, a PolyQP, out *ring.Poly, workers int) {
 	pCoeff := scrP.Coeffs[:kP]
 	if ring.EffectiveWorkers(kP, workers) == 1 {
 		for j := 0; j < kP; j++ {
+			c.tr.Read(a.P.Coeffs[j][:n])
 			copy(pCoeff[j][:n], a.P.Coeffs[j][:n])
+			c.tr.WriteClass(pCoeff[j][:n], memtrace.ClassScratch)
 			c.RingP.SubRings[j].INTT(pCoeff[j])
 		}
 	} else {
 		ring.Parallel(kP, workers, func(j int) {
+			c.tr.Read(a.P.Coeffs[j][:n])
 			copy(pCoeff[j][:n], a.P.Coeffs[j][:n])
+			c.tr.WriteClass(pCoeff[j][:n], memtrace.ClassScratch)
 			c.RingP.SubRings[j].INTT(pCoeff[j])
 		})
 	}
@@ -343,7 +369,8 @@ func (c *Converter) ModDown(levelQ int, a PolyQP, out *ring.Poly, workers int) {
 	scrQ := c.RingQ.GetScratch()
 	defer c.RingQ.PutScratch(scrQ)
 	hat := scrQ.Coeffs[:levelQ+1]
-	c.extend(c.table(c.RingP.Moduli, qModuli), pCoeff, hat, n, workers)
+	c.extend(c.table(c.RingP.Moduli, qModuli), pCoeff, hat, n, workers,
+		memtrace.ClassScratch, memtrace.ClassScratch)
 
 	// (x − x̂)·P^{-1} per limb (Algorithm 2 line 4), staying in NTT form by
 	// transforming the correction limb forward (line 5 folded in).
@@ -370,9 +397,11 @@ func (c *Converter) modDownLimb(a PolyQP, out *ring.Poly, hat [][]uint64, n, i i
 	pInvShoup := mathutil.ShoupPrecomp(pInv, s.Q)
 	ai, oi := a.Q.Coeffs[i], out.Coeffs[i]
 	hi := hat[i]
+	c.tr.Read(ai[:n])
 	for j := 0; j < n; j++ {
 		oi[j] = mathutil.MulModShoup(mathutil.SubMod(ai[j], hi[j], s.Q), pInv, pInvShoup, s.Q)
 	}
+	c.tr.Write(oi[:n])
 }
 
 // Rescale divides a level-levelQ polynomial (NTT form) by its top limb
@@ -395,7 +424,9 @@ func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly, workers in
 	scr := c.RingQ.GetScratch()
 	defer c.RingQ.PutScratch(scr)
 	last := scr.Coeffs[levelQ][:n]
+	c.tr.Read(a.Coeffs[levelQ][:n])
 	copy(last, a.Coeffs[levelQ][:n])
+	c.tr.WriteClass(last, memtrace.ClassScratch)
 	c.RingQ.SubRings[levelQ].INTT(last)
 	for j := 0; j < n; j++ {
 		last[j] += half
@@ -413,6 +444,7 @@ func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly, workers in
 			c.rescaleLimb(a, out, scr, last, ql, half, n, i)
 		})
 	}
+	c.tr.Discard(last)
 	out.Coeffs = out.Coeffs[:levelQ]
 	out.IsNTT = true
 }
@@ -430,12 +462,19 @@ func (c *Converter) rescaleLimb(a, out, scr *ring.Poly, last []uint64, ql, half 
 	for j := 0; j < n; j++ {
 		b[j] = mathutil.SubMod(s.Barrett.Reduce(last[j]), halfMod, s.Q)
 	}
+	c.tr.WriteClass(b, memtrace.ClassScratch)
 	s.NTT(b)
 
 	ai, oi := a.Coeffs[i], out.Coeffs[i]
+	c.tr.Read(ai[:n])
 	for j := 0; j < n; j++ {
 		oi[j] = mathutil.MulModShoup(mathutil.SubMod(ai[j], b[j], s.Q), qlInv, qlInvShoup, s.Q)
 	}
+	c.tr.Write(oi[:n])
+	// The correction limb is dead after the combine — the model's
+	// RescalePoly generates and transforms it entirely in cache, so its
+	// eventual eviction must not count as DRAM write traffic.
+	c.tr.Discard(b)
 }
 
 // PModUp implements Algorithm 5: it lifts b ∈ R_Q to P·b ∈ R_{PQ} with
@@ -455,6 +494,7 @@ func (c *Converter) PModUp(levelQ int, a *ring.Poly, out PolyQP, workers int) {
 	}
 	for j := range c.RingP.Moduli {
 		clear(out.P.Coeffs[j][:n])
+		c.tr.Write(out.P.Coeffs[j][:n])
 	}
 	out.Q.IsNTT = a.IsNTT
 	out.P.IsNTT = a.IsNTT
@@ -467,7 +507,9 @@ func (c *Converter) pModUpLimb(a *ring.Poly, out PolyQP, n, i int) {
 	pMod := ProductMod(c.RingP.Moduli, s.Q)
 	pShoup := mathutil.ShoupPrecomp(pMod, s.Q)
 	ai, oi := a.Coeffs[i], out.Q.Coeffs[i]
+	c.tr.Read(ai[:n])
 	for j := 0; j < n; j++ {
 		oi[j] = mathutil.MulModShoup(ai[j], pMod, pShoup, s.Q)
 	}
+	c.tr.Write(oi[:n])
 }
