@@ -17,6 +17,17 @@
 // for the duration of the command:
 //
 //	fhe -debug-addr localhost:6060 mul -dir keys -out prod.bin a.bin b.bin
+//
+// A leading -chaos runs the fault-injection smoke suite against an
+// in-memory pipeline and writes a machine-readable report (default
+// CHAOS.json, override with -chaos-out):
+//
+//	fhe -chaos -chaos-out report.json
+//
+// Exit codes: 0 success, 1 generic failure (I/O, missing files),
+// 2 usage errors, 3 ciphertext validation failures (level/scale/domain
+// mismatches, checksum violations), 4 internal errors (recovered
+// panics).
 package main
 
 import (
@@ -24,11 +35,20 @@ import (
 	"os"
 
 	"repro/internal/fhecli"
+	"repro/internal/fherr"
 )
 
 func main() {
-	if err := fhecli.Run(os.Args[1:], os.Stdout); err != nil {
+	err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fhe:", err)
-		os.Exit(1)
 	}
+	os.Exit(fherr.ExitCode(err))
+}
+
+// run isolates the deferred panic recovery from main's os.Exit, which
+// would skip deferred functions.
+func run() (err error) {
+	defer fherr.RecoverTo(&err)
+	return fhecli.Run(os.Args[1:], os.Stdout)
 }

@@ -40,11 +40,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fherr"
 	"repro/internal/obs"
 	"repro/internal/simfhe"
 	"repro/internal/simfhe/apps"
@@ -67,21 +70,46 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	var dbg *obs.DebugServer
 	if *debugAddr != "" {
 		debugRec = obs.NewRecorder()
-		addr, err := obs.StartDebugServer(*debugAddr, debugRec)
+		var err error
+		dbg, err = obs.NewDebugServer(*debugAddr, debugRec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "simfhe:", err)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and http://%s/metrics\n", addr, addr)
+		fmt.Fprintf(os.Stderr, "debug server: http://%s/debug/pprof/ and http://%s/metrics\n", dbg.Addr, dbg.Addr)
 	}
 	cmd, args := rest[0], rest[1:]
-	run(cmd, args)
-	if *debugAddr != "" {
-		fmt.Fprintln(os.Stderr, "command done; still serving -debug-addr endpoints (interrupt to exit)")
-		select {}
+	if err := runRecovered(cmd, args); err != nil {
+		// A panic anywhere in the model is a bug, not a usage error:
+		// report it with its own exit code so harnesses can tell the two
+		// apart, after draining the debug server.
+		fmt.Fprintln(os.Stderr, "simfhe:", err)
+		dbg.Shutdown(2 * time.Second)
+		os.Exit(fherr.ExitInternal)
 	}
+	if dbg != nil {
+		fmt.Fprintln(os.Stderr, "command done; still serving -debug-addr endpoints (SIGINT to exit)")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		// Bounded drain: in-flight profile scrapes get two seconds, then
+		// the listener is force-closed so the process cannot hang.
+		if err := dbg.Shutdown(2 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, "simfhe: debug server shutdown:", err)
+		}
+	}
+}
+
+// runRecovered converts a panic inside any subcommand into a typed
+// error so main can exit with the internal-error code instead of a
+// stack-trace crash.
+func runRecovered(cmd string, args []string) (err error) {
+	defer fherr.RecoverTo(&err)
+	run(cmd, args)
+	return nil
 }
 
 func run(cmd string, args []string) {

@@ -65,6 +65,10 @@ type Bootstrapper struct {
 	stc *homomorphicDFT
 
 	sineCoeffs []float64
+
+	// guard, when non-nil, arms BootstrapE's decrypt-compare precision
+	// probe (see ArmPrecisionGuard in checked.go).
+	guard *precisionGuard
 }
 
 // NewBootstrapper builds the DFT matrices and the evaluation keys
@@ -216,10 +220,13 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 	}
 
 	tr := ev.Tracer()
+	fi := ev.FaultInjector()
 	tr.Mark("bootstrap.ModRaise")
 	sp := rec.StartSpan("bootstrap.ModRaise")
 	raised := b.modRaise(ct)
 	sp.End()
+	fi.Poly("bootstrap.ModRaise.c0", raised.C0)
+	fi.Poly("bootstrap.ModRaise.c1", raised.C1)
 
 	// CoeffToSlot: slots now hold (t_j + i·t_{j+n})/(2n·…) in bit-reversed
 	// order, with the EvalMod normalization folded in.
@@ -232,6 +239,8 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 	ctReal := ev.Add(w, wc)
 	ctImag := ev.MulByMinusI(ev.Sub(w, wc))
 	sp.End()
+	fi.Poly("bootstrap.CoeffToSlot.c0", ctReal.C0)
+	fi.Poly("bootstrap.CoeffToSlot.c1", ctReal.C1)
 
 	// Approximate modular reduction on each half.
 	tr.Mark("bootstrap.EvalMod")
@@ -239,6 +248,8 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 	ctReal = b.evalMod(ctReal)
 	ctImag = b.evalMod(ctImag)
 	sp.End()
+	fi.Poly("bootstrap.EvalMod.c0", ctReal.C0)
+	fi.Poly("bootstrap.EvalMod.c1", ctReal.C1)
 
 	// Recombine and return to the coefficient domain.
 	tr.Mark("bootstrap.SlotToCoeff")
@@ -247,6 +258,8 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 	out := b.stc.apply(ev, recombined, b.bparams.HoistedModDown)
 	sp.End()
 	tr.Mark("bootstrap.Done")
+	fi.Poly("bootstrap.SlotToCoeff.c0", out.C0)
+	fi.Poly("bootstrap.SlotToCoeff.c1", out.C1)
 
 	// The slots now read the original message directly: every
 	// normalization constant was folded into the DFT matrices, so the

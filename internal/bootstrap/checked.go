@@ -1,0 +1,85 @@
+package bootstrap
+
+import (
+	"repro/internal/ckks"
+	"repro/internal/faultinject"
+	"repro/internal/fherr"
+)
+
+// This file is the bootstrapper's panic-free entry point plus its last
+// line of defense: a decrypt-compare precision guard. Structural
+// corruption (wrong limbs, toggled flags, bad scales) is caught by
+// ckks.Parameters.Validate and the ciphertext checksums, but a corrupted
+// *switching key* or an aggressive parameter choice produces a perfectly
+// well-formed ciphertext encrypting garbage. The only way to catch that
+// class without interactive protocols is to measure the refreshed
+// message against the input — which needs the secret key, so the guard
+// is an opt-in for canary and chaos deployments, not a production
+// default.
+
+// precisionGuard holds the decrypt-compare probe state.
+type precisionGuard struct {
+	dec     *ckks.Decryptor
+	minBits float64
+}
+
+// SetFaultInjector attaches a chaos-testing fault injector to the
+// bootstrapper's evaluator. Both the ckks hook sites and the bootstrap
+// phase sites (bootstrap.ModRaise/CoeffToSlot/EvalMod/SlotToCoeff,
+// suffixed .c0/.c1) become active. Nil detaches.
+func (b *Bootstrapper) SetFaultInjector(fi *faultinject.Injector) { b.ev.SetFaultInjector(fi) }
+
+// ArmPrecisionGuard enables the decrypt-compare probe: BootstrapE
+// decrypts its input and its output with sk, compares them slot-wise,
+// and fails with fherr.ErrPrecisionLoss when the worst slot falls below
+// minBits bits of precision. Pass a nil sk to disarm.
+func (b *Bootstrapper) ArmPrecisionGuard(sk *ckks.SecretKey, minBits float64) {
+	if sk == nil {
+		b.guard = nil
+		return
+	}
+	b.guard = &precisionGuard{dec: ckks.NewDecryptor(b.params, sk), minBits: minBits}
+}
+
+// BootstrapE is the checked form of Bootstrap: it validates the input
+// ciphertext, converts any panic escaping the pipeline (including
+// worker-pool panics) into a typed fherr error, seals the result when
+// the evaluator has integrity mode on, and — when the precision guard is
+// armed — verifies the refreshed message against the input. On error the
+// returned ciphertext is nil.
+func (b *Bootstrapper) BootstrapE(ct *ckks.Ciphertext) (out *ckks.Ciphertext, err error) {
+	if err := b.params.Validate(ct); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			out = nil
+		}
+	}()
+	defer fherr.RecoverTo(&err)
+
+	var ref []complex128
+	if b.guard != nil {
+		in := ct
+		if in.Level > 0 {
+			in = b.ev.DropLevel(in, 0)
+		}
+		ref = b.enc.Decode(b.guard.dec.DecryptToPlaintext(in))
+	}
+
+	out = b.Bootstrap(ct)
+
+	if b.guard != nil {
+		got := b.enc.Decode(b.guard.dec.DecryptToPlaintext(out))
+		stats := ckks.Precision(ref, got)
+		if stats.MinPrecisionBits < b.guard.minBits {
+			return nil, fherr.Errorf(fherr.ErrPrecisionLoss,
+				"bootstrap: precision floor (got=%.2f bits worst slot, want>=%.2f)",
+				stats.MinPrecisionBits, b.guard.minBits)
+		}
+	}
+	if b.ev.Integrity() {
+		out.Seal()
+	}
+	return out, nil
+}

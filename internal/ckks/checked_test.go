@@ -1,0 +1,214 @@
+package ckks
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/fherr"
+)
+
+// checkedTestEval returns a context plus an evaluator holding a relin key
+// and rotation keys for steps 1 and 2.
+func checkedTestEval(t *testing.T, opts ...EvaluatorOption) (*testContext, *Evaluator) {
+	t.Helper()
+	tc := newTestContext(t)
+	rlk := tc.kg.GenRelinearizationKey(tc.sk, false)
+	gks := tc.kg.GenRotationKeys([]int{1, 2}, tc.sk, false)
+	return tc, NewEvaluator(tc.params, &EvaluationKeySet{Rlk: rlk, Galois: gks}, opts...)
+}
+
+func encryptRandom(tc *testContext) *Ciphertext {
+	return tc.encSk.Encrypt(tc.enc.Encode(randomValues(tc.params.Slots(), 1)))
+}
+
+func TestCheckedOpsMatchPanickingOps(t *testing.T) {
+	tc, ev := checkedTestEval(t)
+	a, b := encryptRandom(tc), encryptRandom(tc)
+
+	type op struct {
+		name    string
+		checked func() (*Ciphertext, error)
+		direct  func() *Ciphertext
+	}
+	ops := []op{
+		{"Add", func() (*Ciphertext, error) { return ev.AddE(a, b) }, func() *Ciphertext { return ev.Add(a, b) }},
+		{"Sub", func() (*Ciphertext, error) { return ev.SubE(a, b) }, func() *Ciphertext { return ev.Sub(a, b) }},
+		{"Neg", func() (*Ciphertext, error) { return ev.NegE(a) }, func() *Ciphertext { return ev.Neg(a) }},
+		{"Mul", func() (*Ciphertext, error) { return ev.MulE(a, b) }, func() *Ciphertext { return ev.Mul(a, b) }},
+		{"Square", func() (*Ciphertext, error) { return ev.SquareE(a) }, func() *Ciphertext { return ev.Square(a) }},
+		{"Rotate", func() (*Ciphertext, error) { return ev.RotateE(a, 1) }, func() *Ciphertext { return ev.Rotate(a, 1) }},
+		{"InnerSum", func() (*Ciphertext, error) { return ev.InnerSumE(a, 4) }, func() *Ciphertext { return ev.InnerSum(a, 4) }},
+		{"DropLevel", func() (*Ciphertext, error) { return ev.DropLevelE(a, a.Level-1) }, func() *Ciphertext { return ev.DropLevel(a, a.Level-1) }},
+	}
+	for _, o := range ops {
+		got, err := o.checked()
+		if err != nil {
+			t.Fatalf("%sE: unexpected error %v", o.name, err)
+		}
+		want := o.direct()
+		if !got.C0.Equal(want.C0) || !got.C1.Equal(want.C1) || got.Level != want.Level || !sameScale(got.Scale, want.Scale) {
+			t.Fatalf("%sE result differs from %s", o.name, o.name)
+		}
+	}
+}
+
+func TestCheckedOpsReturnTypedErrors(t *testing.T) {
+	tc, ev := checkedTestEval(t)
+	a, b := encryptRandom(tc), encryptRandom(tc)
+
+	cases := []struct {
+		name string
+		call func() (*Ciphertext, error)
+		want error
+	}{
+		{"nil operand", func() (*Ciphertext, error) { return ev.AddE(a, nil) }, fherr.ErrDegree},
+		{"scale mismatch", func() (*Ciphertext, error) {
+			c := b.CopyNew()
+			c.Scale *= 2
+			return ev.AddE(a, c)
+		}, fherr.ErrScaleMismatch},
+		{"bad scale", func() (*Ciphertext, error) {
+			c := b.CopyNew()
+			c.Scale = math.NaN()
+			return ev.AddE(a, c)
+		}, fherr.ErrScaleMismatch},
+		{"level out of range", func() (*Ciphertext, error) {
+			c := a.CopyNew()
+			c.Level = tc.params.MaxLevel() + 7
+			return ev.NegE(c)
+		}, fherr.ErrLevelMismatch},
+		{"limb count vs level", func() (*Ciphertext, error) {
+			c := a.CopyNew()
+			c.C1.Coeffs = c.C1.Coeffs[:c.Level]
+			return ev.NegE(c)
+		}, fherr.ErrLevelMismatch},
+		{"short limb", func() (*Ciphertext, error) {
+			c := a.CopyNew()
+			c.C0.Coeffs[0] = c.C0.Coeffs[0][:8]
+			return ev.NegE(c)
+		}, fherr.ErrLimbLength},
+		{"coefficient form", func() (*Ciphertext, error) {
+			c := a.CopyNew()
+			c.C0.IsNTT = false
+			return ev.NegE(c)
+		}, fherr.ErrNTTDomain},
+		{"rescale at level 0", func() (*Ciphertext, error) {
+			c, err := ev.DropLevelE(a, 0)
+			if err != nil {
+				return nil, err
+			}
+			return ev.RescaleE(c)
+		}, fherr.ErrLevelMismatch},
+		{"missing galois key", func() (*Ciphertext, error) { return ev.RotateE(a, 5) }, fherr.ErrKeyMissing},
+		{"bad innersum width", func() (*Ciphertext, error) { return ev.InnerSumE(a, 3) }, fherr.ErrDegree},
+	}
+	for _, c := range cases {
+		out, err := c.call()
+		if err == nil {
+			t.Fatalf("%s: expected error, got nil", c.name)
+		}
+		if !errors.Is(err, c.want) {
+			t.Fatalf("%s: error %v does not wrap %v", c.name, err, c.want)
+		}
+		if out != nil {
+			t.Fatalf("%s: non-nil ciphertext alongside error", c.name)
+		}
+	}
+}
+
+func TestMissingRelinKeyIsTypedError(t *testing.T) {
+	tc := newTestContext(t)
+	ev := NewEvaluator(tc.params, nil)
+	a := encryptRandom(tc)
+	if _, err := ev.MulRelinE(a, a); !errors.Is(err, fherr.ErrKeyMissing) {
+		t.Fatalf("MulRelinE without rlk: %v, want ErrKeyMissing", err)
+	}
+}
+
+func TestIntegritySealAndChecksumDetection(t *testing.T) {
+	tc, ev := checkedTestEval(t, WithIntegrity())
+	a, b := encryptRandom(tc), encryptRandom(tc)
+
+	sum, err := ev.AddE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Sum == 0 {
+		t.Fatal("integrity on, but result not sealed")
+	}
+	if err := tc.params.Validate(sum); err != nil {
+		t.Fatalf("freshly sealed ciphertext failed validation: %v", err)
+	}
+
+	// Payload corruption after sealing must surface as ErrChecksum.
+	sum.C0.Coeffs[0][3] ^= 1
+	if err := tc.params.Validate(sum); !errors.Is(err, fherr.ErrChecksum) {
+		t.Fatalf("bit flip after seal: %v, want ErrChecksum", err)
+	}
+	sum.C0.Coeffs[0][3] ^= 1
+	if err := tc.params.Validate(sum); err != nil {
+		t.Fatalf("restored ciphertext still invalid: %v", err)
+	}
+
+	// Header corruption too.
+	sum.Scale *= 1.5
+	if err := tc.params.Validate(sum); !errors.Is(err, fherr.ErrChecksum) {
+		t.Fatalf("scale change after seal: %v, want ErrChecksum", err)
+	}
+
+	// Copies start unsealed and may be mutated freely.
+	cp := sum.CopyNew()
+	if cp.Sum != 0 {
+		t.Fatal("CopyNew propagated the checksum")
+	}
+}
+
+func TestCheckedOpsAcceptSealedInputs(t *testing.T) {
+	tc, ev := checkedTestEval(t, WithIntegrity())
+	a, b := encryptRandom(tc), encryptRandom(tc)
+	x, err := ev.MulE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sealed output feeds the next op: the input validation recomputes and
+	// accepts the checksum, and the result is sealed again.
+	y, err := ev.RotateE(x, 1)
+	if err != nil {
+		t.Fatalf("sealed input rejected: %v", err)
+	}
+	if y.Sum == 0 {
+		t.Fatal("second-generation result not sealed")
+	}
+}
+
+func TestRotateHoistedEChecked(t *testing.T) {
+	tc, ev := checkedTestEval(t, WithIntegrity())
+	a := encryptRandom(tc)
+	out, err := ev.RotateHoistedE(a, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d rotations, want 3", len(out))
+	}
+	for k, ct := range out {
+		if ct.Sum == 0 {
+			t.Fatalf("rotation %d not sealed", k)
+		}
+		if err := tc.params.Validate(ct); err != nil {
+			t.Fatalf("rotation %d invalid: %v", k, err)
+		}
+	}
+	if _, err := ev.RotateHoistedE(a, []int{1, 9}); !errors.Is(err, fherr.ErrKeyMissing) {
+		t.Fatalf("unkeyed hoisted step: %v, want ErrKeyMissing", err)
+	}
+}
+
+func TestChecksumNeverZero(t *testing.T) {
+	tc := newTestContext(t)
+	ct := encryptRandom(tc)
+	if ct.ComputeChecksum() == 0 {
+		t.Fatal("checksum folded to the unsealed sentinel")
+	}
+}

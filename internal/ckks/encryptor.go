@@ -12,9 +12,19 @@ type Ciphertext struct {
 	C0, C1 *ring.Poly
 	Scale  float64
 	Level  int
+
+	// Sum is an optional integrity checksum over the ciphertext's header
+	// and limb data (see ComputeChecksum). Zero means "unsealed": the
+	// ciphertext carries no checksum and Validate skips the check. Seal
+	// stamps it; any in-place mutation afterwards makes Validate fail with
+	// fherr.ErrChecksum. Sum is deliberately not serialized and not
+	// propagated by CopyNew — a copy starts unsealed, since most copies
+	// are made precisely to be mutated.
+	Sum uint64
 }
 
-// CopyNew returns a deep copy of the ciphertext.
+// CopyNew returns a deep copy of the ciphertext. The copy is unsealed
+// (Sum = 0) regardless of the receiver's integrity state.
 func (ct *Ciphertext) CopyNew() *Ciphertext {
 	return &Ciphertext{C0: ct.C0.CopyNew(), C1: ct.C1.CopyNew(), Scale: ct.Scale, Level: ct.Level}
 }

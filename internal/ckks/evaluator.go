@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 
+	"repro/internal/faultinject"
 	"repro/internal/mathutil"
 	"repro/internal/memtrace"
 	"repro/internal/obs"
@@ -41,6 +42,17 @@ type Evaluator struct {
 	// annotations only it knows — switching-key reads, plaintext tags,
 	// accumulator residency.
 	tr *memtrace.Tracer
+
+	// fi, when non-nil, is a chaos-testing fault injector consulted at the
+	// named hook sites of the checked (*E) methods and the key-switch
+	// digit resolve (see internal/faultinject). Nil costs one pointer
+	// comparison per hook. Injection mutates shared state: run chaos
+	// experiments with SetWorkers(1).
+	fi *faultinject.Injector
+
+	// integrity, when true, makes the checked (*E) methods Seal every
+	// ciphertext they return, arming the checksum comparison in Validate.
+	integrity bool
 }
 
 // EvaluatorOption configures an Evaluator at construction time.
@@ -158,7 +170,7 @@ func sameScale(a, b float64) bool {
 // Add returns ct0 + ct1 (Table 2 Add). Operands must share a scale.
 func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) *Ciphertext {
 	if !sameScale(ct0.Scale, ct1.Scale) {
-		panic(fmt.Sprintf("ckks: Add scale mismatch 2^%.2f vs 2^%.2f", log2(ct0.Scale), log2(ct1.Scale)))
+		panic(fmt.Sprintf("ckks: Add scale mismatch (got=2^%.2f, want=2^%.2f)", log2(ct1.Scale), log2(ct0.Scale)))
 	}
 	level := minLevel(ct0, ct1)
 	rQ := ev.params.RingQ().AtLevel(level)
@@ -171,7 +183,7 @@ func (ev *Evaluator) Add(ct0, ct1 *Ciphertext) *Ciphertext {
 // Sub returns ct0 - ct1.
 func (ev *Evaluator) Sub(ct0, ct1 *Ciphertext) *Ciphertext {
 	if !sameScale(ct0.Scale, ct1.Scale) {
-		panic("ckks: Sub scale mismatch")
+		panic(fmt.Sprintf("ckks: Sub scale mismatch (got=2^%.2f, want=2^%.2f)", log2(ct1.Scale), log2(ct0.Scale)))
 	}
 	level := minLevel(ct0, ct1)
 	rQ := ev.params.RingQ().AtLevel(level)
@@ -195,7 +207,7 @@ func (ev *Evaluator) Neg(ct *Ciphertext) *Ciphertext {
 func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	ev.tagPlaintext(pt)
 	if !sameScale(ct.Scale, pt.Scale) {
-		panic("ckks: AddPlain scale mismatch")
+		panic(fmt.Sprintf("ckks: AddPlain scale mismatch (got=2^%.2f, want=2^%.2f)", log2(pt.Scale), log2(ct.Scale)))
 	}
 	rQ := ev.params.RingQ().AtLevel(ct.Level)
 	out := ct.CopyNew()
@@ -207,7 +219,7 @@ func (ev *Evaluator) AddPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 func (ev *Evaluator) SubPlain(ct *Ciphertext, pt *Plaintext) *Ciphertext {
 	ev.tagPlaintext(pt)
 	if !sameScale(ct.Scale, pt.Scale) {
-		panic("ckks: SubPlain scale mismatch")
+		panic(fmt.Sprintf("ckks: SubPlain scale mismatch (got=2^%.2f, want=2^%.2f)", log2(pt.Scale), log2(ct.Scale)))
 	}
 	rQ := ev.params.RingQ().AtLevel(ct.Level)
 	out := ct.CopyNew()
@@ -290,7 +302,7 @@ func (ev *Evaluator) AddConstReal(ct *Ciphertext, c float64) *Ciphertext {
 func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 	level := ct.Level
 	if level == 0 {
-		panic("ckks: cannot rescale a level-0 ciphertext")
+		panic("ckks: Rescale level (got=0, want>=1)")
 	}
 	sp := ev.rec.StartSpan("ckks.Rescale")
 	defer sp.End()
@@ -319,7 +331,7 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 // without any scaling (the RNS representation just loses limbs).
 func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) *Ciphertext {
 	if level > ct.Level {
-		panic("ckks: DropLevel target above current level")
+		panic(fmt.Sprintf("ckks: DropLevel level (got=%d, want<=%d)", level, ct.Level))
 	}
 	out := ct.CopyNew()
 	out.C0.Coeffs = out.C0.Coeffs[:level+1]
@@ -335,7 +347,7 @@ func (ev *Evaluator) digit(swk *SwitchingKey, j int) KSKDigit {
 	d := swk.Digits[j]
 	if d.A.Q == nil {
 		if !swk.Compressed() {
-			panic("ckks: switching key digit has no A half and no seed")
+			panic("ckks: switching key digit missing (got=no A half or seed, want=expandable digit)")
 		}
 		d.A = expandKSKRandom(ev.params, swk.Seeds[j])
 		swk.Digits[j].A = d.A // memoize
@@ -413,6 +425,17 @@ func (ev *Evaluator) kskInnerProduct(level int, digits []rns.PolyQP, swk *Switch
 	ds := make([]KSKDigit, len(digits))
 	for j := range digits {
 		ds[j] = ev.digit(swk, j)
+	}
+	if ev.fi != nil {
+		// Chaos hook: corrupt resolved switching-key digits in place. The
+		// Visit counter selects which digit (hooks run in ascending digit
+		// order). Key corruption is invisible to ciphertext checksums — it
+		// is the fault class only the decrypt-compare precision guard (or
+		// a downstream limb-shape panic) can catch.
+		for j := range ds {
+			ev.fi.Poly("ckks.ksk.digitB", ds[j].B.Q)
+			ev.fi.Poly("ckks.ksk.digitA", ds[j].A.Q)
+		}
 	}
 	// The digit loop accumulates lazily in [0, 2q) per limb and folds once
 	// at the end — one correction-free Barrett per product instead of a
@@ -510,7 +533,7 @@ func (ev *Evaluator) KeySwitch(level int, x *ring.Poly, swk *SwitchingKey) (p0, 
 // additions at the doubled scale first).
 func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
 	if ev.keys.Rlk == nil {
-		panic("ckks: evaluator has no relinearization key")
+		panic("ckks: relinearization key missing (got=nil, want=key)")
 	}
 	sp := ev.rec.StartSpan("ckks.MulRelin")
 	defer sp.End()
@@ -542,7 +565,7 @@ func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) *Ciphertext {
 func (ev *Evaluator) galoisKey(g uint64) *GaloisKey {
 	gk, ok := ev.keys.Galois[g]
 	if !ok {
-		panic(fmt.Sprintf("ckks: no Galois key for element %d", g))
+		panic(fmt.Sprintf("ckks: Galois key missing (got=element %d, want=keyed element)", g))
 	}
 	return gk
 }
@@ -676,7 +699,7 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 // symmetry (d1 = 2·a0·a1), saving one of Mult's four pointwise products.
 func (ev *Evaluator) Square(ct *Ciphertext) *Ciphertext {
 	if ev.keys.Rlk == nil {
-		panic("ckks: evaluator has no relinearization key")
+		panic("ckks: relinearization key missing (got=nil, want=key)")
 	}
 	level := ct.Level
 	rQ := ev.params.RingQ().AtLevel(level)
@@ -700,12 +723,12 @@ func (ev *Evaluator) Square(ct *Ciphertext) *Ciphertext {
 // Rescale. Requires ct.Level > level.
 func (ev *Evaluator) MatchScaleLevel(ct *Ciphertext, level int, targetScale float64) *Ciphertext {
 	if ct.Level <= level {
-		panic("ckks: MatchScaleLevel needs one spare level")
+		panic(fmt.Sprintf("ckks: MatchScaleLevel level (got=%d, want>%d)", ct.Level, level))
 	}
 	adj := ev.DropLevel(ct, level+1)
 	ratio := targetScale * float64(ev.params.Q()[level+1]) / adj.Scale
 	if ratio < 1 {
-		panic(fmt.Sprintf("ckks: MatchScaleLevel ratio %.3g < 1; target scale too small", ratio))
+		panic(fmt.Sprintf("ckks: MatchScaleLevel scale mismatch (got=ratio %.3g, want>=1)", ratio))
 	}
 	return ev.Rescale(ev.MulByConstReal(adj, 1, ratio))
 }

@@ -3,7 +3,11 @@ package ckks
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
+	"math"
 	"testing"
+
+	"repro/internal/fherr"
 )
 
 // fuzzSeedCiphertext serializes a genuine ciphertext for the seed corpus.
@@ -56,6 +60,130 @@ func FuzzCiphertextReadFrom(f *testing.F) {
 		}
 		if !bytes.Equal(out.Bytes(), data[:n]) {
 			t.Fatal("accepted input does not round-trip byte-identically")
+		}
+	})
+}
+
+// fuzzSentinels is the closed set of error kinds the public error API is
+// allowed to produce; any error outside it fails the fuzz targets.
+var fuzzSentinels = []error{
+	fherr.ErrLevelMismatch, fherr.ErrScaleMismatch, fherr.ErrNTTDomain,
+	fherr.ErrDegree, fherr.ErrKeyMissing, fherr.ErrLimbLength,
+	fherr.ErrChecksum, fherr.ErrPrecisionLoss, fherr.ErrInternal,
+}
+
+func assertTypedError(t *testing.T, err error) {
+	t.Helper()
+	for _, s := range fuzzSentinels {
+		if errors.Is(err, s) {
+			return
+		}
+	}
+	t.Fatalf("error does not wrap any fherr sentinel: %v", err)
+}
+
+// FuzzValidateCiphertext mutates a genuine ciphertext's header and limb
+// structure and checks that Validate never panics and that every
+// rejection wraps a typed fherr sentinel.
+func FuzzValidateCiphertext(f *testing.F) {
+	tc := newTestContext(f)
+	ev := NewEvaluator(tc.params, nil)
+	base := tc.encSk.Encrypt(tc.enc.Encode(randomValues(tc.params.Slots(), 1)))
+
+	f.Add(int16(base.Level), math.Float64bits(base.Scale), false, false, uint8(0), uint8(0), false, uint16(0))
+	f.Add(int16(-1), uint64(0), true, false, uint8(1), uint8(0), false, uint16(3))
+	f.Add(int16(200), math.Float64bits(math.NaN()), false, true, uint8(0), uint8(7), true, uint16(9))
+	f.Add(int16(base.Level), math.Float64bits(base.Scale), false, false, uint8(0), uint8(0), true, uint16(1))
+
+	f.Fuzz(func(t *testing.T, level int16, scaleBits uint64, ntt0, ntt1 bool, truncC0, shortLimb uint8, seal bool, flip uint16) {
+		ct := base.CopyNew()
+		ct.Level = int(level)
+		ct.Scale = math.Float64frombits(scaleBits)
+		if ntt0 {
+			ct.C0.IsNTT = false
+		}
+		if ntt1 {
+			ct.C1.IsNTT = false
+		}
+		if n := int(truncC0); n > 0 && n < len(ct.C0.Coeffs) {
+			ct.C0.Coeffs = ct.C0.Coeffs[:n]
+		}
+		if n := int(shortLimb); n > 0 {
+			i := n % len(ct.C1.Coeffs)
+			ct.C1.Coeffs[i] = ct.C1.Coeffs[i][:len(ct.C1.Coeffs[i])/2]
+		}
+		if seal {
+			ct.Seal()
+			// Post-seal mutation: the checksum must catch it.
+			if flip != 0 {
+				ct.C0.Coeffs[0][int(flip)%len(ct.C0.Coeffs[0])] ^= 1
+			}
+		}
+		if err := tc.params.Validate(ct); err != nil {
+			assertTypedError(t, err)
+			return
+		}
+		// Validate accepted the mutant: the checked API must succeed on it.
+		if _, err := ev.NegE(ct); err != nil {
+			t.Fatalf("Validate accepted but NegE failed: %v", err)
+		}
+	})
+}
+
+// FuzzEvaluatorOps drives random level/scale/NTT-flag mutations through
+// the error-returning evaluator API: nothing may panic, and every
+// failure must wrap a typed fherr sentinel.
+func FuzzEvaluatorOps(f *testing.F) {
+	tc := newTestContext(f)
+	rlk := tc.kg.GenRelinearizationKey(tc.sk, false)
+	gks := tc.kg.GenRotationKeys([]int{1, 2}, tc.sk, false)
+	ev := NewEvaluator(tc.params, &EvaluationKeySet{Rlk: rlk, Galois: gks})
+	a := tc.encSk.Encrypt(tc.enc.Encode(randomValues(tc.params.Slots(), 1)))
+	b := tc.encSk.Encrypt(tc.enc.Encode(randomValues(tc.params.Slots(), 1)))
+
+	for op := uint8(0); op < 8; op++ {
+		f.Add(op, int8(1), int8(0), 1.0, false, uint8(4))
+	}
+	f.Add(uint8(2), int8(5), int8(-3), math.Inf(1), true, uint8(3))
+	f.Add(uint8(3), int8(-7), int8(2), 0.0, false, uint8(0))
+
+	f.Fuzz(func(t *testing.T, op uint8, rot int8, levelDelta int8, scaleMul float64, toggleNTT bool, width uint8) {
+		ct := a.CopyNew()
+		if d := int(levelDelta); d != 0 {
+			nl := ct.Level + d
+			if nl >= 0 && nl < ct.Level {
+				// A legitimate lower-level ciphertext: exercises real
+				// kernel paths, not just validation rejects.
+				ct.C0.Coeffs = ct.C0.Coeffs[:nl+1]
+				ct.C1.Coeffs = ct.C1.Coeffs[:nl+1]
+			}
+			ct.Level = nl
+		}
+		ct.Scale *= scaleMul
+		if toggleNTT {
+			ct.C1.IsNTT = false
+		}
+		var err error
+		switch op % 8 {
+		case 0:
+			_, err = ev.AddE(ct, b)
+		case 1:
+			_, err = ev.SubE(ct, b)
+		case 2:
+			_, err = ev.MulE(ct, b)
+		case 3:
+			_, err = ev.RotateE(ct, int(rot))
+		case 4:
+			_, err = ev.RescaleE(ct)
+		case 5:
+			_, err = ev.InnerSumE(ct, int(width))
+		case 6:
+			_, err = ev.SquareE(ct)
+		case 7:
+			_, err = ev.DropLevelE(ct, int(levelDelta))
+		}
+		if err != nil {
+			assertTypedError(t, err)
 		}
 	})
 }

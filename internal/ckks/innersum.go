@@ -12,7 +12,7 @@ import "fmt"
 // (see InnerSumRotations).
 func (ev *Evaluator) InnerSum(ct *Ciphertext, n int) *Ciphertext {
 	if n <= 0 || n&(n-1) != 0 || n > ev.params.Slots() {
-		panic(fmt.Sprintf("ckks: InnerSum width %d is not a power of two within the slot count", n))
+		panic(fmt.Sprintf("ckks: InnerSum width (got=%d, want=power of two within %d slots)", n, ev.params.Slots()))
 	}
 	out := ct.CopyNew()
 	rQ := ev.params.RingQ().AtLevel(ct.Level)

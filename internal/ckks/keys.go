@@ -273,7 +273,7 @@ func (p *Parameters) KeySizeBytes(swk *SwitchingKey) int {
 // checkKeyLevels validates that a switching key matches the parameters.
 func (p *Parameters) checkKeyLevels(swk *SwitchingKey) error {
 	if len(swk.Digits) != p.Dnum() {
-		return fmt.Errorf("ckks: switching key has %d digits, parameters need %d", len(swk.Digits), p.Dnum())
+		return fmt.Errorf("ckks: switching key digits (got=%d, want=%d)", len(swk.Digits), p.Dnum())
 	}
 	return nil
 }

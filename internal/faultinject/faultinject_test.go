@@ -1,0 +1,116 @@
+package faultinject
+
+import (
+	"testing"
+
+	"repro/internal/ring"
+)
+
+func testPoly(limbs, n int) *ring.Poly {
+	p := &ring.Poly{Coeffs: make([][]uint64, limbs), IsNTT: true}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = make([]uint64, n)
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = uint64(i*n + j)
+		}
+	}
+	return p
+}
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var fi *Injector
+	p := testPoly(3, 8)
+	before := p.CopyNew()
+	fi.Arm(Fault{Site: "x", Kind: KindBitFlip})
+	fi.Poly("x", p)
+	s := 2.0
+	fi.Scale("x", &s)
+	fi.Reset()
+	if ev := fi.Events(); ev != nil {
+		t.Fatalf("nil injector produced events: %v", ev)
+	}
+	if !p.Equal(before) || s != 2.0 {
+		t.Fatal("nil injector mutated state")
+	}
+}
+
+func TestUnarmedSiteDoesNothing(t *testing.T) {
+	fi := New()
+	fi.Arm(Fault{Site: "ckks.Mul.out.c0", Kind: KindBitFlip})
+	p := testPoly(3, 8)
+	before := p.CopyNew()
+	fi.Poly("ckks.Add.out.c0", p)
+	if !p.Equal(before) {
+		t.Fatal("fault fired at the wrong site")
+	}
+	if len(fi.Events()) != 0 {
+		t.Fatal("events recorded for a miss")
+	}
+}
+
+func TestBitFlipFiresOnceAtVisit(t *testing.T) {
+	fi := New()
+	fi.Arm(Fault{Site: "s", Kind: KindBitFlip, Limb: 1, Coeff: 3, Bit: 7, Visit: 2})
+	p := testPoly(3, 8)
+	want := p.Coeffs[1][3]
+	fi.Poly("s", p) // visit 1: not yet
+	if p.Coeffs[1][3] != want {
+		t.Fatal("fired before its visit count")
+	}
+	fi.Poly("s", p) // visit 2: fires
+	if p.Coeffs[1][3] != want^(1<<7) {
+		t.Fatalf("bit not flipped: got %x, want %x", p.Coeffs[1][3], want^(1<<7))
+	}
+	fi.Poly("s", p) // already fired: no second flip
+	if p.Coeffs[1][3] != want^(1<<7) {
+		t.Fatal("fault fired twice")
+	}
+	if ev := fi.Events(); len(ev) != 1 || ev[0].Kind != KindBitFlip {
+		t.Fatalf("event log = %v", ev)
+	}
+}
+
+func TestKindsAndClamping(t *testing.T) {
+	fi := New()
+	fi.Arm(Fault{Site: "t", Kind: KindTruncateLimbs, Keep: 2})
+	fi.Arm(Fault{Site: "n", Kind: KindToggleNTT})
+	fi.Arm(Fault{Site: "z", Kind: KindZeroLimb, Limb: 99}) // clamped to top limb
+	fi.Arm(Fault{Site: "sc", Kind: KindCorruptScale})
+
+	p := testPoly(4, 8)
+	fi.Poly("t", p)
+	if len(p.Coeffs) != 2 {
+		t.Fatalf("truncate kept %d limbs, want 2", len(p.Coeffs))
+	}
+	fi.Poly("n", p)
+	if p.IsNTT {
+		t.Fatal("NTT flag not toggled")
+	}
+	fi.Poly("z", p)
+	for _, v := range p.Coeffs[1] {
+		if v != 0 {
+			t.Fatal("limb not zeroed")
+		}
+	}
+	s := 4.0
+	fi.Scale("sc", &s)
+	if s != 6.0 {
+		t.Fatalf("scale = %v, want 6.0", s)
+	}
+	if len(fi.Events()) != 4 {
+		t.Fatalf("want 4 events, got %d: %v", len(fi.Events()), fi.Events())
+	}
+}
+
+func TestScaleHookDoesNotConsumePolyFaults(t *testing.T) {
+	fi := New()
+	fi.Arm(Fault{Site: "s", Kind: KindBitFlip})
+	v := 1.0
+	fi.Scale("s", &v) // wrong hook type: must not consume the bit flip
+	p := testPoly(1, 4)
+	want := p.Coeffs[0][0] ^ 1
+	fi.Poly("s", p)
+	if p.Coeffs[0][0] != want {
+		t.Fatal("poly fault was consumed by the scale hook")
+	}
+}

@@ -14,8 +14,10 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"time"
 
 	"repro/internal/ckks"
+	"repro/internal/fherr"
 	"repro/internal/obs"
 	"repro/internal/prng"
 )
@@ -31,33 +33,43 @@ var recorder *obs.Recorder
 var workerCount = 1
 
 // Run dispatches the subcommand. A leading -debug-addr ADDR serves
-// /debug/pprof and /metrics over HTTP for the duration of the command;
-// a leading -workers N parallelizes the evaluator across N goroutines.
-// Output goes to w; errors are returned.
+// /debug/pprof and /metrics over HTTP for the duration of the command
+// (drained with a bounded timeout on exit); a leading -workers N
+// parallelizes the evaluator across N goroutines; a leading -chaos runs
+// the fault-injection smoke suite instead of a subcommand. Output goes
+// to w; errors are returned, typed so the caller can map them to exit
+// codes with fherr.ExitCode.
 func Run(args []string, w io.Writer) error {
-	usageErr := fmt.Errorf("usage: fhe [-debug-addr ADDR] [-workers N] {keygen|encrypt|add|mul|rotate|sum|decrypt|info} [flags]")
+	usageErr := fherr.Errorf(fherr.ErrUsage,
+		"usage: fhe [-debug-addr ADDR] [-workers N] [-chaos [-chaos-out FILE]] {keygen|encrypt|add|mul|rotate|sum|decrypt|info} [flags]")
 	if len(args) == 0 {
 		return usageErr
 	}
 	global := flag.NewFlagSet("fhe", flag.ContinueOnError)
 	debugAddr := global.String("debug-addr", "", "serve /debug/pprof and /metrics on this address while the command runs")
 	workers := global.Int("workers", 1, "evaluator goroutines (0 = all cores); results are bit-identical at any setting")
+	chaos := global.Bool("chaos", false, "run the fault-injection smoke suite and exit")
+	chaosOut := global.String("chaos-out", "CHAOS.json", "where -chaos writes its machine-readable report")
 	global.SetOutput(io.Discard)
 	if err := global.Parse(args); err != nil {
 		return usageErr
 	}
 	workerCount = *workers
 	args = global.Args()
-	if len(args) == 0 {
+	if !*chaos && len(args) == 0 {
 		return usageErr
 	}
 	if *debugAddr != "" {
 		recorder = obs.NewRecorder()
-		addr, err := obs.StartDebugServer(*debugAddr, recorder)
+		dbg, err := obs.NewDebugServer(*debugAddr, recorder)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "debug server: http://%s/debug/pprof/ and http://%s/metrics\n", addr, addr)
+		defer dbg.Shutdown(2 * time.Second)
+		fmt.Fprintf(w, "debug server: http://%s/debug/pprof/ and http://%s/metrics\n", dbg.Addr, dbg.Addr)
+	}
+	if *chaos {
+		return ChaosSmoke(w, *chaosOut)
 	}
 	switch args[0] {
 	case "keygen":
@@ -77,7 +89,7 @@ func Run(args []string, w io.Writer) error {
 	case "info":
 		return info(args[1:], w)
 	default:
-		return fmt.Errorf("unknown subcommand %q", args[0])
+		return fherr.Errorf(fherr.ErrUsage, "unknown subcommand %q", args[0])
 	}
 }
 
@@ -259,7 +271,7 @@ func encrypt(args []string, w io.Writer) error {
 		return err
 	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("encrypt: no values given")
+		return fherr.Errorf(fherr.ErrUsage, "encrypt: no values given")
 	}
 	k, err := openKeyDir(*dir)
 	if err != nil {
@@ -318,7 +330,7 @@ func binop(args []string, w io.Writer, op string) error {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("%s: need exactly two ciphertext files", op)
+		return fherr.Errorf(fherr.ErrUsage, "%s: need exactly two ciphertext files", op)
 	}
 	k, err := openKeyDir(*dir)
 	if err != nil {
@@ -336,12 +348,17 @@ func binop(args []string, w io.Writer, op string) error {
 	if err != nil {
 		return err
 	}
+	// The checked API rejects malformed or mismatched ciphertext files
+	// with a typed error instead of crashing the process.
 	var res *ckks.Ciphertext
 	switch op {
 	case "add":
-		res = ev.Add(a, b)
+		res, err = ev.AddE(a, b)
 	case "mul":
-		res = ev.Mul(a, b)
+		res, err = ev.MulE(a, b)
+	}
+	if err != nil {
+		return err
 	}
 	if err := writeCt(*out, res); err != nil {
 		return err
@@ -359,7 +376,7 @@ func rotate(args []string, w io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("rotate: need one ciphertext file")
+		return fherr.Errorf(fherr.ErrUsage, "rotate: need one ciphertext file")
 	}
 	k, err := openKeyDir(*dir)
 	if err != nil {
@@ -373,7 +390,10 @@ func rotate(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res := ev.Rotate(ct, *by)
+	res, err := ev.RotateE(ct, *by)
+	if err != nil {
+		return err
+	}
 	if err := writeCt(*out, res); err != nil {
 		return err
 	}
@@ -389,7 +409,7 @@ func decrypt(args []string, w io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("decrypt: need one ciphertext file")
+		return fherr.Errorf(fherr.ErrUsage, "decrypt: need one ciphertext file")
 	}
 	k, err := openKeyDir(*dir)
 	if err != nil {
@@ -414,7 +434,7 @@ func decrypt(args []string, w io.Writer) error {
 
 func info(args []string, w io.Writer) error {
 	if len(args) != 1 {
-		return fmt.Errorf("info: need one ciphertext file")
+		return fherr.Errorf(fherr.ErrUsage, "info: need one ciphertext file")
 	}
 	ct, err := readCt(args[0])
 	if err != nil {
@@ -440,10 +460,10 @@ func innerSum(args []string, w io.Writer) error {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("sum: need one ciphertext file")
+		return fherr.Errorf(fherr.ErrUsage, "sum: need one ciphertext file")
 	}
 	if *n < 1 || *n&(*n-1) != 0 {
-		return fmt.Errorf("sum: -n %d is not a power of two", *n)
+		return fherr.Errorf(fherr.ErrUsage, "sum: -n %d is not a power of two", *n)
 	}
 	k, err := openKeyDir(*dir)
 	if err != nil {
@@ -469,7 +489,10 @@ func innerSum(args []string, w io.Writer) error {
 	}
 	ev := ckks.NewEvaluator(k.params, keys, ckks.WithWorkers(workerCount))
 	ev.SetRecorder(recorder)
-	res := ev.InnerSum(ct, *n)
+	res, err := ev.InnerSumE(ct, *n)
+	if err != nil {
+		return err
+	}
 	if err := writeCt(*out, res); err != nil {
 		return err
 	}

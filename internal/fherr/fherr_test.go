@@ -1,0 +1,103 @@
+package fherr
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorfWrapsSentinel(t *testing.T) {
+	err := Errorf(ErrScaleMismatch, "ckks: Add scale mismatch (got=2^40.00, want=2^41.00)")
+	if !errors.Is(err, ErrScaleMismatch) {
+		t.Fatalf("errors.Is failed for %v", err)
+	}
+	if errors.Is(err, ErrLevelMismatch) {
+		t.Fatalf("matched the wrong sentinel")
+	}
+	want := "ckks: Add scale mismatch (got=2^40.00, want=2^41.00)"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestClassifyVocabulary(t *testing.T) {
+	cases := []struct {
+		msg  string
+		want error
+	}{
+		{"ckks: Add scale mismatch (got=2^40.00, want=2^41.00)", ErrScaleMismatch},
+		{"ckks: Rescale level (got=0, want>=1)", ErrLevelMismatch},
+		{"ring: polynomial level below ring (got=2, want=4)", ErrLevelMismatch},
+		{"rns: ModUpDigit input domain (got=coefficient form, want=NTT)", ErrNTTDomain},
+		{"rns: Rescale input domain (got=coefficient form, want=NTT)", ErrNTTDomain},
+		{"ckks: Galois key missing (got=element 13, want=keyed element)", ErrKeyMissing},
+		{"ckks: relinearization key missing (got=nil, want=key)", ErrKeyMissing},
+		{"ring: Copy destination limbs (got=2, want>=5)", ErrLimbLength},
+		{"ckks: ciphertext checksum mismatch (got=0xdead, want=0xbeef)", ErrChecksum},
+		{"ckks: ciphertext degree (got=nil half, want=both halves)", ErrDegree},
+		{"runtime error: index out of range [5] with length 3", ErrInternal},
+		{"runtime error: invalid memory address or nil pointer dereference", ErrInternal},
+	}
+	for _, c := range cases {
+		if got := Classify(c.msg); got != c.want {
+			t.Errorf("Classify(%q) = %v, want %v", c.msg, got, c.want)
+		}
+	}
+}
+
+func TestRecoverToConvertsPanics(t *testing.T) {
+	run := func(f func()) (err error) {
+		defer RecoverTo(&err)
+		f()
+		return nil
+	}
+
+	if err := run(func() {}); err != nil {
+		t.Fatalf("no panic should leave err nil, got %v", err)
+	}
+	err := run(func() { panic("ckks: Sub scale mismatch (got=2^40.00, want=2^39.00)") })
+	if !errors.Is(err, ErrScaleMismatch) {
+		t.Fatalf("string panic not classified: %v", err)
+	}
+	err = run(func() { panic(Errorf(ErrKeyMissing, "ckks: Galois key missing (got=element 9, want=keyed element)")) })
+	if !errors.Is(err, ErrKeyMissing) {
+		t.Fatalf("typed panic not preserved: %v", err)
+	}
+	// Worker-pool wrapping is looked through.
+	err = run(func() {
+		panic(&PanicError{Value: "rns: ModDown input domain (got=coefficient form, want=NTT)"})
+	})
+	if !errors.Is(err, ErrNTTDomain) {
+		t.Fatalf("PanicError not classified by inner message: %v", err)
+	}
+	// Runtime errors (bugs) map to ErrInternal, never to a validation kind.
+	err = run(func() {
+		var s []int
+		_ = s[3] //nolint — deliberate out-of-range
+	})
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("runtime error not mapped to ErrInternal: %v", err)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("open foo: no such file"), ExitFailure},
+		{Errorf(ErrUsage, "fhe: unknown subcommand"), ExitUsage},
+		{Errorf(ErrLevelMismatch, "x"), ExitValidation},
+		{Errorf(ErrChecksum, "x"), ExitValidation},
+		{Errorf(ErrPrecisionLoss, "x"), ExitValidation},
+		{Errorf(ErrInternal, "x"), ExitInternal},
+		{&PanicError{Value: "boom"}, ExitInternal},
+		{fmt.Errorf("wrapped: %w", Errorf(ErrScaleMismatch, "x")), ExitValidation},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -8,15 +9,22 @@ import (
 	"time"
 )
 
-// StartDebugServer serves Go pprof endpoints (/debug/pprof/...) and a
+// DebugServer is a pprof + /metrics HTTP server with a bounded-drain
+// shutdown, so CLIs can serve diagnostics for the duration of a command
+// and still exit cleanly on SIGINT instead of leaking the listener.
+type DebugServer struct {
+	Addr string // bound address (useful when started with ":0")
+	srv  *http.Server
+}
+
+// NewDebugServer serves Go pprof endpoints (/debug/pprof/...) and a
 // Prometheus /metrics endpoint for the given recorder on addr, in a
-// background goroutine. It returns the bound address (useful with ":0").
-// The recorder may be nil, in which case /metrics serves an empty
-// exposition. The listener lives for the remainder of the process.
-func StartDebugServer(addr string, r *Recorder) (string, error) {
+// background goroutine. The recorder may be nil, in which case /metrics
+// serves an empty exposition. Stop the server with Shutdown.
+func NewDebugServer(addr string, r *Recorder) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: debug server: %w", err)
+		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -30,5 +38,30 @@ func StartDebugServer(addr string, r *Recorder) (string, error) {
 	})
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
-	return ln.Addr().String(), nil
+	return &DebugServer{Addr: ln.Addr().String(), srv: srv}, nil
+}
+
+// Shutdown drains in-flight requests for at most the given timeout, then
+// force-closes whatever remains. Safe to call on a nil receiver.
+func (d *DebugServer) Shutdown(timeout time.Duration) error {
+	if d == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := d.srv.Shutdown(ctx); err != nil {
+		return d.srv.Close()
+	}
+	return nil
+}
+
+// StartDebugServer is the fire-and-forget form of NewDebugServer: the
+// listener lives for the remainder of the process. It returns the bound
+// address.
+func StartDebugServer(addr string, r *Recorder) (string, error) {
+	d, err := NewDebugServer(addr, r)
+	if err != nil {
+		return "", err
+	}
+	return d.Addr, nil
 }

@@ -34,12 +34,12 @@ func FuzzPolyReadFrom(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
-	f.Add(buf.Bytes()[:buf.Len()/2])                         // truncated payload
-	f.Add(fuzzHeader(1, 0, 1<<12, 1<<20))                    // max claimed shape, no data
-	f.Add(fuzzHeader(1, 1, 0xffff, 0xffffffff))              // out-of-bounds shape
-	f.Add(fuzzHeader(1, 0, 1, 0))                            // zero-degree
-	f.Add(fuzzHeader(1, 0, 0, 16))                           // zero limbs
-	f.Add(fuzzHeader(2, 0, 1, 16))                           // wrong version
+	f.Add(buf.Bytes()[:buf.Len()/2])                            // truncated payload
+	f.Add(fuzzHeader(1, 0, 1<<12, 1<<20))                       // max claimed shape, no data
+	f.Add(fuzzHeader(1, 1, 0xffff, 0xffffffff))                 // out-of-bounds shape
+	f.Add(fuzzHeader(1, 0, 1, 0))                               // zero-degree
+	f.Add(fuzzHeader(1, 0, 0, 16))                              // zero limbs
+	f.Add(fuzzHeader(2, 0, 1, 16))                              // wrong version
 	f.Add(append(fuzzHeader(1, 0, 2, 16), make([]byte, 64)...)) // payload for ½ limb
 
 	f.Fuzz(func(t *testing.T, data []byte) {

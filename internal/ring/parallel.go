@@ -2,7 +2,11 @@ package ring
 
 import (
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/fherr"
 )
 
 // Shared execution layer: a lightweight worker pool over an index range.
@@ -47,10 +51,49 @@ func maxWorkers(items, requested int) int {
 	return w
 }
 
+// panicCollector captures the first panic raised by any worker closure
+// and cancels the remaining work: every worker checks stop before each
+// item, so a poisoned fan-out drains quickly instead of running every
+// remaining item (or deadlocking the join). After the join the caller
+// re-raises exactly one *fherr.PanicError on its own goroutine — the
+// pool's channels and WaitGroup are fully unwound first, so the pool
+// invariants hold and the very next Parallel call works normally.
+type panicCollector struct {
+	stop  atomic.Bool
+	once  sync.Once
+	first *fherr.PanicError
+}
+
+// capture is deferred inside each worker; it records the first panic
+// (with the panicking goroutine's stack) and flips the stop flag.
+func (pc *panicCollector) capture() {
+	if r := recover(); r != nil {
+		pc.once.Do(func() {
+			pc.first = &fherr.PanicError{Value: r, Stack: debug.Stack()}
+		})
+		pc.stop.Store(true)
+	}
+}
+
+// rethrow re-raises the captured panic, if any, on the caller's
+// goroutine. Called after the WaitGroup join.
+func (pc *panicCollector) rethrow() {
+	if pc.first != nil {
+		panic(pc.first)
+	}
+}
+
 // Parallel runs fn(i) for every i in [0, n) using up to `workers`
 // goroutines (≤ 0 means GOMAXPROCS, 1 means the calling goroutine only).
 // Items are handed out dynamically, so mildly uneven item costs still
 // balance. fn must not assume any ordering between items.
+//
+// If fn panics on a worker goroutine, the remaining items are cancelled,
+// every worker joins, and the first panic is re-raised on the caller's
+// goroutine wrapped as *fherr.PanicError (carrying the original value
+// and worker stack). The pool is reusable afterwards. On the serial path
+// (effective worker count 1) fn's panic propagates unwrapped, already on
+// the caller's goroutine; fherr.FromPanic classifies both shapes.
 func Parallel(n, workers int, fn func(i int)) {
 	if n <= 0 {
 		return
@@ -63,6 +106,7 @@ func Parallel(n, workers int, fn func(i int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var pc panicCollector
 	next := make(chan int, n)
 	for i := 0; i < n; i++ {
 		next <- i
@@ -72,12 +116,17 @@ func Parallel(n, workers int, fn func(i int)) {
 	for g := 0; g < w; g++ {
 		go func() {
 			defer wg.Done()
+			defer pc.capture()
 			for i := range next {
+				if pc.stop.Load() {
+					continue // drain cancelled items
+				}
 				fn(i)
 			}
 		}()
 	}
 	wg.Wait()
+	pc.rethrow()
 }
 
 // ParallelChunked partitions [0, n) into one contiguous chunk per worker
@@ -85,6 +134,10 @@ func Parallel(n, workers int, fn func(i int)) {
 // index is in [0, maxWorkers(n, workers)) and is unique per chunk, so
 // callers can keep per-worker accumulators without locking. Chunk
 // boundaries depend only on (n, effective worker count), never on timing.
+//
+// Worker panics follow the Parallel contract: chunks not yet started are
+// cancelled, all workers join, and the first panic is re-raised on the
+// caller's goroutine as *fherr.PanicError.
 func ParallelChunked(n, workers int, fn func(worker, start, end int)) {
 	if n <= 0 {
 		return
@@ -95,18 +148,21 @@ func ParallelChunked(n, workers int, fn func(worker, start, end int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	var pc panicCollector
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		start := g * n / w
 		end := (g + 1) * n / w
 		go func(g, start, end int) {
 			defer wg.Done()
-			if start < end {
+			defer pc.capture()
+			if start < end && !pc.stop.Load() {
 				fn(g, start, end)
 			}
 		}(g, start, end)
 	}
 	wg.Wait()
+	pc.rethrow()
 }
 
 // forEachLimb runs fn(i) for every limb index concurrently.

@@ -1,0 +1,144 @@
+package ring
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fherr"
+)
+
+// catchPanic runs f and returns the recovered panic value (nil if none).
+func catchPanic(f func()) (r any) {
+	defer func() { r = recover() }()
+	f()
+	return nil
+}
+
+// workerCounts is the sweep the parallelism golden tests use.
+func workerCounts() []int {
+	return []int{1, 2, runtime.GOMAXPROCS(0)}
+}
+
+func TestParallelPanicPropagates(t *testing.T) {
+	for _, w := range workerCounts() {
+		r := catchPanic(func() {
+			Parallel(64, w, func(i int) {
+				if i == 13 {
+					panic("ring: deliberate test panic (got=13, want=never)")
+				}
+			})
+		})
+		if r == nil {
+			t.Fatalf("workers=%d: panic did not propagate to the caller", w)
+		}
+		// Classification must work for any worker count, wrapped or not.
+		err := fherr.FromPanic(r)
+		if err == nil || err.Error() == "" {
+			t.Fatalf("workers=%d: panic value %v not convertible", w, r)
+		}
+		if w > 1 {
+			pe, ok := r.(*fherr.PanicError)
+			if !ok {
+				t.Fatalf("workers=%d: got %T, want *fherr.PanicError", w, r)
+			}
+			if len(pe.Stack) == 0 {
+				t.Fatalf("workers=%d: wrapped panic carries no worker stack", w)
+			}
+		}
+	}
+}
+
+func TestParallelChunkedPanicPropagates(t *testing.T) {
+	for _, w := range workerCounts() {
+		r := catchPanic(func() {
+			ParallelChunked(64, w, func(worker, start, end int) {
+				panic(errors.New("ring: deliberate chunk panic (got=panic, want=never)"))
+			})
+		})
+		if r == nil {
+			t.Fatalf("workers=%d: chunked panic did not propagate", w)
+		}
+	}
+}
+
+// TestParallelPanicCancelsRemainingWork asserts a poisoned fan-out stops
+// handing out items instead of running all of them.
+func TestParallelPanicCancelsRemainingWork(t *testing.T) {
+	const n = 10_000
+	var ran atomic.Int64
+	catchPanic(func() {
+		Parallel(n, 4, func(i int) {
+			if ran.Add(1) == 1 {
+				panic("ring: first item panics (got=poison, want=never)")
+			}
+			// Slow the healthy workers slightly so cancellation has a
+			// chance to beat them to the queue.
+			time.Sleep(10 * time.Microsecond)
+		})
+	})
+	if got := ran.Load(); got == n {
+		t.Fatalf("all %d items ran despite an item-1 panic; remaining work was not cancelled", n)
+	}
+}
+
+// TestParallelPoolReusableAfterPanic asserts the pool invariants are
+// restored: a normal fan-out immediately after a panicking one computes
+// every item exactly once.
+func TestParallelPoolReusableAfterPanic(t *testing.T) {
+	for _, w := range workerCounts() {
+		catchPanic(func() {
+			Parallel(32, w, func(i int) { panic("poison") })
+		})
+		var ran atomic.Int64
+		Parallel(128, w, func(i int) { ran.Add(1) })
+		if got := ran.Load(); got != 128 {
+			t.Fatalf("workers=%d: post-panic fan-out ran %d/128 items", w, got)
+		}
+	}
+}
+
+// TestParallelPanicAllWorkers asserts the join survives every worker
+// panicking at once (a systematically bad closure), still raising a
+// single wrapped panic.
+func TestParallelPanicAllWorkers(t *testing.T) {
+	r := catchPanic(func() {
+		Parallel(64, 8, func(i int) { panic(i) })
+	})
+	if r == nil {
+		t.Fatal("no panic propagated")
+	}
+	if _, ok := r.(*fherr.PanicError); !ok {
+		t.Fatalf("got %T, want a single *fherr.PanicError", r)
+	}
+}
+
+// TestParallelPanicNoGoroutineLeak asserts workers exit after a panic:
+// the goroutine count returns to its baseline (with retries, since
+// runtime bookkeeping lags).
+func TestParallelPanicNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for iter := 0; iter < 20; iter++ {
+		catchPanic(func() {
+			Parallel(256, runtime.GOMAXPROCS(0), func(i int) {
+				if i%3 == 0 {
+					panic("poison")
+				}
+			})
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: baseline %d, now %d", baseline, now)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -36,7 +36,7 @@ func (p *Poly) CopyNew() *Poly {
 // remain intact in its capacity and can be recovered with Resize.
 func (p *Poly) Copy(out *Poly) {
 	if cap(out.Coeffs) < len(p.Coeffs) {
-		panic("ring: Copy destination has fewer limbs than source")
+		panic(fmt.Sprintf("ring: Copy destination limbs (got=%d, want>=%d)", cap(out.Coeffs), len(p.Coeffs)))
 	}
 	out.Coeffs = out.Coeffs[:len(p.Coeffs)]
 	for i := range p.Coeffs {
@@ -51,7 +51,7 @@ func (p *Poly) Copy(out *Poly) {
 // the backing allocation never held that many limbs.
 func (p *Poly) Resize(limbs int) {
 	if limbs < 0 || limbs > cap(p.Coeffs) {
-		panic(fmt.Sprintf("ring: Resize to %d limbs exceeds capacity %d", limbs, cap(p.Coeffs)))
+		panic(fmt.Sprintf("ring: Resize limbs (got=%d, want within [0,%d])", limbs, cap(p.Coeffs)))
 	}
 	p.Coeffs = p.Coeffs[:limbs]
 }
@@ -86,7 +86,7 @@ func (p *Poly) Equal(o *Poly) bool {
 func (r *Ring) checkCompat(ps ...*Poly) {
 	for _, p := range ps {
 		if p.Level() < r.MaxLevel() {
-			panic(fmt.Sprintf("ring: polynomial level %d below ring level %d", p.Level(), r.MaxLevel()))
+			panic(fmt.Sprintf("ring: polynomial level below ring (got=%d, want>=%d)", p.Level(), r.MaxLevel()))
 		}
 	}
 }
@@ -293,7 +293,7 @@ func (r *Ring) MulRingElement(a, b, out *Poly) {
 // tests and debugging; it allocates big.Ints freely.
 func (r *Ring) ToBigCoeffs(p *Poly) []*big.Int {
 	if p.IsNTT {
-		panic("ring: ToBigCoeffs requires coefficient form")
+		panic("ring: ToBigCoeffs input domain (got=NTT, want=coefficient form)")
 	}
 	bigQ := big.NewInt(1)
 	for _, q := range r.Moduli {

@@ -150,7 +150,7 @@ func NewExtTable(in, out []uint64) *ExtTable {
 
 func (t *ExtTable) checkShapes(src, dst [][]uint64) {
 	if len(src) != len(t.In) || len(dst) != len(t.Out) {
-		panic(fmt.Sprintf("rns: Extend got %d input and %d output limbs, want %d and %d",
+		panic(fmt.Sprintf("rns: Extend limbs (got=%d in/%d out, want=%d/%d)",
 			len(src), len(dst), len(t.In), len(t.Out)))
 	}
 }

@@ -256,10 +256,10 @@ func (c *Converter) putModUpScratch(s *modUpScratch) {
 // are produced by iNTT → NewLimb → NTT.
 func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP, workers int) {
 	if !aQ.IsNTT {
-		panic("rns: ModUpDigit requires NTT input")
+		panic("rns: ModUpDigit input domain (got=coefficient form, want=NTT)")
 	}
 	if start < 0 || end <= start || end > levelQ+1 {
-		panic(fmt.Sprintf("rns: digit [%d,%d) out of range for level %d", start, end, levelQ))
+		panic(fmt.Sprintf("rns: ModUpDigit digit range (got=[%d,%d), want within level %d)", start, end, levelQ))
 	}
 	n := c.RingQ.N
 	digitModuli := c.RingQ.Moduli[start:end]
@@ -335,7 +335,7 @@ func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP
 // standard key-switching rounding noise.
 func (c *Converter) ModDown(levelQ int, a PolyQP, out *ring.Poly, workers int) {
 	if !a.Q.IsNTT || !a.P.IsNTT {
-		panic("rns: ModDown requires NTT input")
+		panic("rns: ModDown input domain (got=coefficient form, want=NTT)")
 	}
 	n := c.RingQ.N
 	kP := len(c.RingP.Moduli)
@@ -410,10 +410,10 @@ func (c *Converter) modDownLimb(a PolyQP, out *ring.Poly, hat [][]uint64, n, i i
 // specialization with B′ = {q_ℓ}.
 func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly, workers int) {
 	if !a.IsNTT {
-		panic("rns: Rescale requires NTT input")
+		panic("rns: Rescale input domain (got=coefficient form, want=NTT)")
 	}
 	if levelQ < 1 {
-		panic("rns: cannot rescale below level 0")
+		panic(fmt.Sprintf("rns: Rescale level (got=%d, want>=1)", levelQ))
 	}
 	n := c.RingQ.N
 	ql := c.RingQ.Moduli[levelQ]
