@@ -12,17 +12,29 @@
 //	fhe decrypt -dir keys [-slots 8] ct.bin
 //	fhe info    ct.bin
 //
-// A leading -debug-addr ADDR serves net/http/pprof under /debug/pprof
-// and the evaluator's ckks.* counters under /metrics (Prometheus text)
-// for the duration of the command:
+// A leading -debug-addr ADDR serves net/http/pprof under /debug/pprof,
+// the evaluator's ckks.* counters and latency histograms under /metrics
+// (Prometheus text) and a liveness report under /healthz for the
+// duration of the command:
 //
 //	fhe -debug-addr localhost:6060 mul -dir keys -out prod.bin a.bin b.bin
+//
+// A leading -stats prints an end-of-run telemetry table: per-op latency
+// percentiles (from the span histograms), kernel and traffic counters,
+// and runtime memory gauges:
+//
+//	fhe -stats mul -dir keys -out prod.bin a.bin b.bin
 //
 // A leading -chaos runs the fault-injection smoke suite against an
 // in-memory pipeline and writes a machine-readable report (default
 // CHAOS.json, override with -chaos-out):
 //
 //	fhe -chaos -chaos-out report.json
+//
+// Whenever a fault is classified — a recovered panic at an API boundary
+// or a chaos-suite injection — the flight recorder dumps its bounded
+// window (the last spans, all counters, gauges and histograms) to
+// FLIGHT.json (override with a leading -flight-out FILE).
 //
 // Exit codes: 0 success, 1 generic failure (I/O, missing files),
 // 2 usage errors, 3 ciphertext validation failures (level/scale/domain

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/benchdiff"
+)
+
+// benchdiffCmd is the perf-trajectory gate: it compares a fresh bench
+// report against a committed baseline and exits nonzero when any metric
+// slowed past the threshold. CI runs it after the bench suites so kernel
+// regressions fail the build the same way broken tests do.
+func benchdiffCmd(args []string) {
+	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
+	baseline := fs.String("baseline", "BENCH_extend.json", "committed baseline report (JSON)")
+	current := fs.String("current", "", "fresh report to compare (JSON); empty measures the extend suite now")
+	suite := fs.String("suite", "extend", "suite to measure when -current is empty: extend (parallel must be pre-measured)")
+	threshold := fs.Float64("threshold", 0.25, "max allowed slowdown fraction (0.25 = +25%)")
+	fs.Parse(args)
+
+	curPath := *current
+	if curPath == "" {
+		if *suite != "extend" {
+			fmt.Fprintln(os.Stderr, "benchdiff: only the extend suite can be measured in-process; "+
+				"run `simfhe bench -suite parallel -out FILE` first and pass -current FILE")
+			os.Exit(2)
+		}
+		tmp, err := os.MkdirTemp("", "benchdiff")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(tmp)
+		curPath = filepath.Join(tmp, "current.json")
+		fmt.Fprintln(os.Stderr, "benchdiff: measuring fresh extend suite ...")
+		benchExtendSuite(curPath)
+	}
+
+	base, err := benchdiff.FlattenFile(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	cur, err := benchdiff.FlattenFile(curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	rep := benchdiff.Compare(base, cur, *threshold)
+	if err := rep.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if !rep.OK() {
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %d metric(s) regressed past +%.0f%% (or nothing compared)\n",
+			rep.Regressed, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchdiff: ok")
+}

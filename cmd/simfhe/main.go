@@ -14,6 +14,10 @@
 //	simfhe bench [-workers=1,2,4] [-out=BENCH_parallel.json]
 //	                         measure the functional library across evaluator
 //	                         worker counts, writing machine-readable JSON
+//	simfhe benchdiff [-baseline=BENCH_extend.json] [-current=FILE] [-threshold=0.25]
+//	                         compare a fresh bench report against a committed
+//	                         baseline; exit nonzero past the regression
+//	                         threshold (the CI perf-trajectory gate)
 //	simfhe validate [-strict] [-out=FILE] [-cache-limbs=6]
 //	                         trace the functional evaluator through the cache
 //	                         simulator and compare measured DRAM traffic
@@ -29,8 +33,8 @@
 // The run, boot and trace subcommands accept -trace-out FILE (Chrome
 // trace_event JSON, loadable in chrome://tracing or Perfetto) and
 // -metrics-out FILE (Prometheus text format). A leading -debug-addr
-// ADDR serves /debug/pprof and /metrics over HTTP while the command
-// runs:
+// ADDR serves /debug/pprof, /metrics and a /healthz liveness report
+// over HTTP while the command runs:
 //
 //	simfhe -debug-addr localhost:6060 run sched.txt
 package main
@@ -62,7 +66,7 @@ var debugRec *obs.Recorder
 func main() {
 	global := flag.NewFlagSet("simfhe", flag.ExitOnError)
 	debugAddr := global.String("debug-addr", "",
-		"serve /debug/pprof and /metrics on this address (e.g. localhost:6060) while the command runs")
+		"serve /debug/pprof, /metrics and /healthz on this address (e.g. localhost:6060) while the command runs")
 	global.Usage = func() { usage(); global.PrintDefaults() }
 	global.Parse(os.Args[1:])
 	rest := global.Args()
@@ -138,6 +142,8 @@ func run(cmd string, args []string) {
 		sweep(args)
 	case "bench":
 		benchCmd(args)
+	case "benchdiff":
+		benchdiffCmd(args)
 	case "validate":
 		validateCmd(args)
 	case "ai":
@@ -163,9 +169,10 @@ func run(cmd string, args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: simfhe [-debug-addr ADDR] {table4|fig2|fig3|table5|table6|fig6|boot|cost|run|trace|sweep|bench|validate|ai|json|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: simfhe [-debug-addr ADDR] {table4|fig2|fig3|table5|table6|fig6|boot|cost|run|trace|sweep|bench|benchdiff|validate|ai|json|all} [flags]")
 	fmt.Fprintln(os.Stderr, "  run/boot/trace accept -trace-out FILE (Chrome trace JSON) and -metrics-out FILE (Prometheus text)")
 	fmt.Fprintln(os.Stderr, "  bench [-workers 1,2,4] [-out FILE] measures the functional library across worker counts (JSON)")
+	fmt.Fprintln(os.Stderr, "  benchdiff [-baseline FILE] [-current FILE] [-threshold 0.25] gates fresh bench results against a committed baseline")
 	fmt.Fprintln(os.Stderr, "  validate [-strict] [-out FILE] traces the functional evaluator through the cache simulator and compares measured vs modeled DRAM traffic")
 }
 

@@ -1,0 +1,196 @@
+// Package benchdiff is the perf-trajectory harness: it flattens the
+// repository's committed benchmark reports (BENCH_extend.json,
+// BENCH_parallel.json) and a freshly measured report into comparable
+// metric maps, computes per-kernel deltas, and renders a verdict table.
+// CI runs it after the bench suites: a fresh measurement that regresses
+// past the threshold fails the build, so the performance trajectory of
+// the memory-aware kernels is gated the same way correctness is.
+//
+// The package is deliberately schema-tolerant: it decodes only the
+// fields it compares and ignores everything else (older baselines
+// without newer metadata parse fine), and metrics present on only one
+// side are reported but never gate — adding a kernel to the suite must
+// not fail the first build that measures it.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// extendReport mirrors the simfhe bench extend JSON (subset).
+type extendReport struct {
+	Kernels []struct {
+		Name   string  `json:"name"`
+		NsLazy float64 `json:"ns_lazy"`
+	} `json:"kernels"`
+	Pipelines []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"pipelines"`
+	TableKeyNs float64 `json:"table_key_ns"`
+}
+
+// parallelReport mirrors the simfhe bench parallel JSON (subset).
+type parallelReport struct {
+	Workloads []struct {
+		Name    string `json:"name"`
+		Results []struct {
+			Workers int     `json:"workers"`
+			NsPerOp float64 `json:"ns_per_op"`
+		} `json:"results"`
+	} `json:"workloads"`
+}
+
+// Flatten decodes a bench report of either suite into a flat
+// metric-name → nanoseconds map. Metric names are stable across runs:
+//
+//	kernel/<name>         extend suite, lazy kernel ns/op
+//	pipeline/<name>       extend suite, pipeline ns/op
+//	table_key             extend suite, table cache hit-path ns
+//	workload/<name>/w<N>  parallel suite, ns/op at N workers
+//
+// A report that matches neither schema (no kernels, pipelines or
+// workloads) is an error — comparing empty maps would vacuously pass.
+func Flatten(data []byte) (map[string]float64, error) {
+	out := make(map[string]float64)
+
+	var ext extendReport
+	if err := json.Unmarshal(data, &ext); err == nil {
+		for _, k := range ext.Kernels {
+			if k.NsLazy > 0 {
+				out["kernel/"+k.Name] = k.NsLazy
+			}
+		}
+		for _, p := range ext.Pipelines {
+			if p.NsPerOp > 0 {
+				out["pipeline/"+p.Name] = p.NsPerOp
+			}
+		}
+		if ext.TableKeyNs > 0 {
+			out["table_key"] = ext.TableKeyNs
+		}
+	}
+
+	var par parallelReport
+	if err := json.Unmarshal(data, &par); err == nil {
+		for _, w := range par.Workloads {
+			for _, r := range w.Results {
+				if r.NsPerOp > 0 {
+					out[fmt.Sprintf("workload/%s/w%d", w.Name, r.Workers)] = r.NsPerOp
+				}
+			}
+		}
+	}
+
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchdiff: report contains no recognizable metrics (want kernels/pipelines/workloads)")
+	}
+	return out, nil
+}
+
+// FlattenFile reads and flattens a report from disk.
+func FlattenFile(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	m, err := Flatten(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return m, nil
+}
+
+// Delta is the comparison result for one metric.
+type Delta struct {
+	Name    string
+	Base    float64 // baseline ns (0 when metric is new)
+	Current float64 // fresh ns (0 when metric vanished)
+	Ratio   float64 // Current/Base; 0 when not comparable
+	// Regressed is set when the metric slowed past the threshold. Only
+	// metrics present on both sides can regress.
+	Regressed bool
+}
+
+// Report is a full comparison: every metric from either side, sorted by
+// name, plus the regression roll-up.
+type Report struct {
+	Threshold float64 // max allowed slowdown fraction, e.g. 0.25 = +25%
+	Deltas    []Delta
+	Regressed int // count of regressed metrics
+	Compared  int // count of metrics present on both sides
+}
+
+// Compare diffs a fresh measurement against a baseline. threshold is the
+// allowed fractional slowdown: a metric regresses when
+// current > base·(1+threshold). Metrics on only one side are listed with
+// Ratio 0 and never gate.
+func Compare(base, current map[string]float64, threshold float64) Report {
+	rep := Report{Threshold: threshold}
+	names := make(map[string]bool, len(base)+len(current))
+	for k := range base {
+		names[k] = true
+	}
+	for k := range current {
+		names[k] = true
+	}
+	keys := make([]string, 0, len(names))
+	for k := range names {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		d := Delta{Name: k, Base: base[k], Current: current[k]}
+		if d.Base > 0 && d.Current > 0 {
+			d.Ratio = d.Current / d.Base
+			d.Regressed = d.Ratio > 1+threshold
+			rep.Compared++
+			if d.Regressed {
+				rep.Regressed++
+			}
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	return rep
+}
+
+// OK reports whether the comparison passes the gate: at least one metric
+// compared, none regressed.
+func (r Report) OK() bool { return r.Compared > 0 && r.Regressed == 0 }
+
+// Render writes the human-readable delta table. Regressions are flagged
+// with FAIL, improvements beyond the threshold with "faster" (they never
+// gate — a faster run should prompt a baseline refresh, not a failure),
+// one-sided metrics with "new"/"gone".
+func (r Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-40s %14s %14s %8s  %s\n", "metric", "base ns", "current ns", "ratio", "verdict"); err != nil {
+		return err
+	}
+	for _, d := range r.Deltas {
+		verdict := "ok"
+		switch {
+		case d.Base == 0:
+			verdict = "new"
+		case d.Current == 0:
+			verdict = "gone"
+		case d.Regressed:
+			verdict = "FAIL"
+		case d.Ratio < 1/(1+r.Threshold):
+			verdict = "faster"
+		}
+		ratio := "-"
+		if d.Ratio > 0 {
+			ratio = fmt.Sprintf("%.3f", d.Ratio)
+		}
+		if _, err := fmt.Fprintf(w, "%-40s %14.0f %14.0f %8s  %s\n", d.Name, d.Base, d.Current, ratio, verdict); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "compared %d metrics, %d regressed (threshold +%.0f%%)\n",
+		r.Compared, r.Regressed, r.Threshold*100)
+	return err
+}

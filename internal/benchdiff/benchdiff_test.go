@@ -1,0 +1,163 @@
+package benchdiff
+
+import (
+	"strings"
+	"testing"
+)
+
+const syntheticExtend = `{
+  "gomaxprocs": 1,
+  "kernels": [
+    {"name": "modup_digit_3to18", "in_limbs": 3, "out_limbs": 18, "ns_lazy": 1000000, "ns_reference": 2000000},
+    {"name": "moddown_18to15", "in_limbs": 18, "out_limbs": 15, "ns_lazy": 800000, "ns_reference": 1600000}
+  ],
+  "pipelines": [
+    {"name": "modup_digit", "ns_per_op": 5000000, "allocs_per_op": 0}
+  ],
+  "table_key_ns": 40.0
+}`
+
+const syntheticParallel = `{
+  "workloads": [
+    {"name": "bootstrap", "results": [
+      {"workers": 1, "ns_per_op": 500000000},
+      {"workers": 2, "ns_per_op": 260000000}
+    ]}
+  ]
+}`
+
+func TestFlattenExtend(t *testing.T) {
+	m, err := Flatten([]byte(syntheticExtend))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"kernel/modup_digit_3to18": 1000000,
+		"kernel/moddown_18to15":    800000,
+		"pipeline/modup_digit":     5000000,
+		"table_key":                40.0,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("flattened %d metrics, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("metric %s = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
+func TestFlattenParallel(t *testing.T) {
+	m, err := Flatten([]byte(syntheticParallel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["workload/bootstrap/w1"] != 500000000 || m["workload/bootstrap/w2"] != 260000000 {
+		t.Fatalf("unexpected parallel metrics: %v", m)
+	}
+}
+
+func TestFlattenCommittedBaselines(t *testing.T) {
+	// The committed baselines at the repo root must stay parseable: CI
+	// compares fresh runs against them.
+	for _, path := range []string{"../../BENCH_extend.json", "../../BENCH_parallel.json"} {
+		m, err := FlattenFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(m) == 0 {
+			t.Fatalf("%s flattened to no metrics", path)
+		}
+	}
+}
+
+func TestFlattenRejectsUnrecognized(t *testing.T) {
+	for _, bad := range []string{`{}`, `{"note":"hi"}`, `not json`} {
+		if _, err := Flatten([]byte(bad)); err == nil {
+			t.Errorf("Flatten(%q) accepted a metric-free report", bad)
+		}
+	}
+}
+
+// TestDetectsInjectedRegression is the acceptance check: a synthetic 25%
+// slowdown on one kernel must trip a 20% threshold and must pass a 30%
+// threshold.
+func TestDetectsInjectedRegression(t *testing.T) {
+	base, err := Flatten([]byte(syntheticExtend))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Flatten([]byte(syntheticExtend))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur["kernel/modup_digit_3to18"] *= 1.25 // inject the regression
+
+	rep := Compare(base, cur, 0.20)
+	if rep.OK() {
+		t.Fatal("25%% regression passed a 20%% threshold")
+	}
+	if rep.Regressed != 1 {
+		t.Fatalf("regressed = %d, want 1", rep.Regressed)
+	}
+	for _, d := range rep.Deltas {
+		if d.Name == "kernel/modup_digit_3to18" && !d.Regressed {
+			t.Error("the injected metric was not the one flagged")
+		}
+		if d.Name != "kernel/modup_digit_3to18" && d.Regressed {
+			t.Errorf("clean metric %s flagged as regressed", d.Name)
+		}
+	}
+
+	if rep := Compare(base, cur, 0.30); !rep.OK() {
+		t.Fatal("25%% slowdown failed a 30%% threshold")
+	}
+}
+
+func TestIdenticalReportsPass(t *testing.T) {
+	base, _ := Flatten([]byte(syntheticExtend))
+	cur, _ := Flatten([]byte(syntheticExtend))
+	rep := Compare(base, cur, 0.0)
+	if !rep.OK() {
+		t.Fatal("identical reports failed a zero threshold")
+	}
+	if rep.Compared != 4 {
+		t.Fatalf("compared = %d, want 4", rep.Compared)
+	}
+}
+
+func TestOneSidedMetricsNeverGate(t *testing.T) {
+	base := map[string]float64{"kernel/a": 100}
+	cur := map[string]float64{"kernel/a": 100, "kernel/b": 999999}
+	if rep := Compare(base, cur, 0.1); !rep.OK() {
+		t.Fatal("new metric gated the comparison")
+	}
+	cur = map[string]float64{"kernel/b": 1}
+	if rep := Compare(base, cur, 0.1); rep.OK() {
+		t.Fatal("zero overlapping metrics must not vacuously pass")
+	}
+}
+
+func TestImprovementNeverGates(t *testing.T) {
+	base := map[string]float64{"kernel/a": 1000}
+	cur := map[string]float64{"kernel/a": 100}
+	if rep := Compare(base, cur, 0.05); !rep.OK() {
+		t.Fatal("a 10x speedup failed the gate")
+	}
+}
+
+func TestRenderMarksVerdicts(t *testing.T) {
+	base := map[string]float64{"kernel/slow": 100, "kernel/fast": 100, "kernel/gone": 5}
+	cur := map[string]float64{"kernel/slow": 200, "kernel/fast": 10, "kernel/new": 7}
+	rep := Compare(base, cur, 0.25)
+	var sb strings.Builder
+	if err := rep.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"FAIL", "faster", "new", "gone", "1 regressed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

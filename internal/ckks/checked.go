@@ -64,8 +64,14 @@ func (ev *Evaluator) finish(site string, out *Ciphertext) {
 
 // checked wraps one panicking core op: validate every ciphertext operand,
 // recover any panic into a typed error, run the finish hooks on success.
-// On error the returned ciphertext is always nil.
+// On error the returned ciphertext is always nil. Each call records a
+// span named "ckks.<op>E" covering validation, the core op and the
+// finish hooks, so the checked facade's end-to-end latency (including
+// validation/seal overhead) gets its own histogram next to the core
+// op's span — their gap is the cost of safety.
 func (ev *Evaluator) checked(op string, ins []*Ciphertext, core func() *Ciphertext) (out *Ciphertext, err error) {
+	sp := ev.rec.StartSpan("ckks." + op + "E")
+	defer sp.End()
 	for _, ct := range ins {
 		if err := ev.params.Validate(ct); err != nil {
 			return nil, err
@@ -74,6 +80,7 @@ func (ev *Evaluator) checked(op string, ins []*Ciphertext, core func() *Cipherte
 	defer func() {
 		if err != nil {
 			out = nil
+			ev.rec.Add("ckks.checked.errors", 1)
 		}
 	}()
 	defer fherr.RecoverTo(&err)
@@ -187,12 +194,15 @@ func (ev *Evaluator) InnerSumE(ct *Ciphertext, n int) (*Ciphertext, error) {
 // RotateHoistedE is the checked form of RotateHoisted. Every returned
 // ciphertext passes through the finish hooks; on error the map is nil.
 func (ev *Evaluator) RotateHoistedE(ct *Ciphertext, steps []int) (out map[int]*Ciphertext, err error) {
+	sp := ev.rec.StartSpan("ckks.RotateHoistedE")
+	defer sp.End()
 	if err := ev.params.Validate(ct); err != nil {
 		return nil, err
 	}
 	defer func() {
 		if err != nil {
 			out = nil
+			ev.rec.Add("ckks.checked.errors", 1)
 		}
 	}()
 	defer fherr.RecoverTo(&err)

@@ -116,10 +116,16 @@ func splitWorkers(workers, tasks int) (outer, inner int) {
 
 // SetRecorder attaches an observability recorder (nil detaches it). The
 // recorder is propagated to the parameter set's shared basis-change
-// Converter, which feeds the "rns.extend" counters.
+// Converter (the "rns.extend*" counters), to both rings (the "ring.ntt*"
+// kernel and "ring.pool.*" occupancy counters) and to the ring worker
+// pool (the "ring.parallel.task" latency histogram), so one attachment
+// point lights up the whole stack.
 func (ev *Evaluator) SetRecorder(r *obs.Recorder) {
 	ev.rec = r
 	ev.params.Converter().SetRecorder(r)
+	ev.params.RingQ().SetRecorder(r)
+	ev.params.RingP().SetRecorder(r)
+	ring.SetTaskRecorder(r)
 	r.SetGauge("ckks.workers", float64(ev.workers))
 }
 

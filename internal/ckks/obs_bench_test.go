@@ -1,0 +1,59 @@
+package ckks
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// benchEvaluator builds an evaluator with relinearization keys and two
+// ciphertexts at full level for the recorder-overhead benchmarks.
+func benchEvaluator(b *testing.B) (*Evaluator, *Ciphertext, *Ciphertext) {
+	tc := newTestContext(b)
+	rlk := tc.kg.GenRelinearizationKey(tc.sk, false)
+	ev := NewEvaluator(tc.params, &EvaluationKeySet{Rlk: rlk})
+	vals := randomValues(tc.params.Slots(), 1)
+	ct0 := tc.encSk.Encrypt(tc.enc.Encode(vals))
+	ct1 := tc.encSk.Encrypt(tc.enc.Encode(vals))
+	return ev, ct0, ct1
+}
+
+// BenchmarkMultRecorderOff is the baseline: the instrumentation is
+// compiled in but the recorder is nil, so every telemetry call site costs
+// exactly one nil check. Compare against BenchmarkMultRecorderOn to read
+// off the enabled-telemetry overhead (acceptance target: < 5%).
+func BenchmarkMultRecorderOff(b *testing.B) {
+	ev, ct0, ct1 := benchEvaluator(b)
+	ev.SetRecorder(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Mul(ct0, ct1)
+	}
+}
+
+// BenchmarkMultRecorderOn runs the same multiply with a live recorder:
+// spans on every sub-operation, counter adds in the kernels, and a
+// histogram observation per span end.
+func BenchmarkMultRecorderOn(b *testing.B) {
+	ev, ct0, ct1 := benchEvaluator(b)
+	rec := obs.NewRecorder()
+	ev.SetRecorder(rec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Mul(ct0, ct1)
+	}
+}
+
+// BenchmarkSpanNilRecorder pins the disabled-path cost in isolation: a
+// StartSpan/End pair on a nil recorder must not allocate and must cost
+// only the nil checks.
+func BenchmarkSpanNilRecorder(b *testing.B) {
+	var rec *obs.Recorder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := rec.StartSpan("op")
+		rec.Add("k", 1)
+		sp.End()
+	}
+}

@@ -36,6 +36,16 @@ func ChaosSmoke(w io.Writer, outPath string) error {
 		return err
 	}
 	fmt.Fprintf(w, "chaos: report written to %s\n", outPath)
+	// Flush the flight-recorder window covering the whole suite: the
+	// spans and counters leading up to (and through) every injected
+	// fault. Individual recovered panics already dumped via the fherr
+	// hook; this final dump supersedes those with the complete window.
+	reason := fmt.Sprintf("chaos: %d fault classes exercised, %d escaped", len(report.Cases), report.Escaped)
+	if err := recorder.DumpFlight(flightPath, reason); err != nil {
+		return err
+	} else if recorder != nil {
+		fmt.Fprintf(w, "chaos: flight recorder dump written to %s\n", flightPath)
+	}
 	if report.Escaped > 0 {
 		return fmt.Errorf("chaos: %d fault class(es) neither detected nor harmless", report.Escaped)
 	}

@@ -13,6 +13,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"time"
 
@@ -22,10 +23,16 @@ import (
 	"repro/internal/prng"
 )
 
-// recorder, when non-nil (set by a leading -debug-addr flag), is attached
-// to every evaluator the subcommands build, so /metrics exposes the
-// ckks.* counters of the operation in flight.
+// recorder, when non-nil (armed by a leading -debug-addr, -stats or
+// -chaos flag), is attached to every evaluator the subcommands build, so
+// /metrics, the -stats summary table and the FLIGHT.json fault dump all
+// see the ckks.* spans and counters of the operation in flight.
 var recorder *obs.Recorder
+
+// flightPath is where the dump-on-fault hook (and the chaos suite)
+// writes the flight-recorder window; set by the leading -flight-out
+// flag.
+var flightPath = "FLIGHT.json"
 
 // workerCount is the evaluator parallelism selected by the leading
 // -workers flag: 1 is serial, ≤ 0 selects GOMAXPROCS. Results are
@@ -33,21 +40,26 @@ var recorder *obs.Recorder
 var workerCount = 1
 
 // Run dispatches the subcommand. A leading -debug-addr ADDR serves
-// /debug/pprof and /metrics over HTTP for the duration of the command
-// (drained with a bounded timeout on exit); a leading -workers N
-// parallelizes the evaluator across N goroutines; a leading -chaos runs
-// the fault-injection smoke suite instead of a subcommand. Output goes
-// to w; errors are returned, typed so the caller can map them to exit
-// codes with fherr.ExitCode.
+// /debug/pprof, /metrics and /healthz over HTTP for the duration of the
+// command (drained with a bounded timeout on exit); a leading -workers N
+// parallelizes the evaluator across N goroutines; a leading -stats
+// prints an end-of-run telemetry table (latency percentiles per op,
+// counters, memory gauges); a leading -flight-out FILE sets where the
+// flight recorder dumps its window when a fault is classified; a leading
+// -chaos runs the fault-injection smoke suite instead of a subcommand.
+// Output goes to w; errors are returned, typed so the caller can map
+// them to exit codes with fherr.ExitCode.
 func Run(args []string, w io.Writer) error {
 	usageErr := fherr.Errorf(fherr.ErrUsage,
-		"usage: fhe [-debug-addr ADDR] [-workers N] [-chaos [-chaos-out FILE]] {keygen|encrypt|add|mul|rotate|sum|decrypt|info} [flags]")
+		"usage: fhe [-debug-addr ADDR] [-workers N] [-stats] [-flight-out FILE] [-chaos [-chaos-out FILE]] {keygen|encrypt|add|mul|rotate|sum|decrypt|info} [flags]")
 	if len(args) == 0 {
 		return usageErr
 	}
 	global := flag.NewFlagSet("fhe", flag.ContinueOnError)
-	debugAddr := global.String("debug-addr", "", "serve /debug/pprof and /metrics on this address while the command runs")
+	debugAddr := global.String("debug-addr", "", "serve /debug/pprof, /metrics and /healthz on this address while the command runs")
 	workers := global.Int("workers", 1, "evaluator goroutines (0 = all cores); results are bit-identical at any setting")
+	stats := global.Bool("stats", false, "print an end-of-run telemetry summary (op latency percentiles, counters, memory gauges)")
+	flightOut := global.String("flight-out", "FLIGHT.json", "where the flight recorder dumps the last spans and counters when a fault is classified")
 	chaos := global.Bool("chaos", false, "run the fault-injection smoke suite and exit")
 	chaosOut := global.String("chaos-out", "CHAOS.json", "where -chaos writes its machine-readable report")
 	global.SetOutput(io.Discard)
@@ -55,12 +67,23 @@ func Run(args []string, w io.Writer) error {
 		return usageErr
 	}
 	workerCount = *workers
+	flightPath = *flightOut
 	args = global.Args()
 	if !*chaos && len(args) == 0 {
 		return usageErr
 	}
-	if *debugAddr != "" {
+	recorder = nil
+	if *debugAddr != "" || *stats || *chaos {
 		recorder = obs.NewRecorder()
+	}
+	// Dump-on-fault: any panic classified at an API boundary flushes the
+	// flight-recorder window before the error propagates. Nil-recorder
+	// safe, so registration is unconditional for the command's duration.
+	fherr.SetPanicHook(func(err error) {
+		_ = recorder.DumpFlight(flightPath, "panic: "+err.Error())
+	})
+	defer fherr.SetPanicHook(nil)
+	if *debugAddr != "" {
 		dbg, err := obs.NewDebugServer(*debugAddr, recorder)
 		if err != nil {
 			return err
@@ -68,9 +91,19 @@ func Run(args []string, w io.Writer) error {
 		defer dbg.Shutdown(2 * time.Second)
 		fmt.Fprintf(w, "debug server: http://%s/debug/pprof/ and http://%s/metrics\n", dbg.Addr, dbg.Addr)
 	}
-	if *chaos {
-		return ChaosSmoke(w, *chaosOut)
+	err := func() error {
+		if *chaos {
+			return ChaosSmoke(w, *chaosOut)
+		}
+		return dispatch(args, w)
+	}()
+	if *stats {
+		printStats(w, recorder)
 	}
+	return err
+}
+
+func dispatch(args []string, w io.Writer) error {
 	switch args[0] {
 	case "keygen":
 		return keygen(args[1:], w)
@@ -90,6 +123,58 @@ func Run(args []string, w io.Writer) error {
 		return info(args[1:], w)
 	default:
 		return fherr.Errorf(fherr.ErrUsage, "unknown subcommand %q", args[0])
+	}
+}
+
+// printStats renders the -stats end-of-run summary: one row per
+// latency histogram (count and percentiles in microseconds), then every
+// counter and gauge. Memory gauges are refreshed immediately before the
+// snapshot so the table reflects the run's final heap state.
+func printStats(w io.Writer, r *obs.Recorder) {
+	if r == nil {
+		return
+	}
+	obs.PublishMemStats(r)
+	s := r.Snapshot()
+	fmt.Fprintf(w, "\n== telemetry (%d spans retained", len(s.Spans))
+	if d := s.Counters[obs.DroppedSpansCounter]; d > 0 {
+		fmt.Fprintf(w, ", %d dropped", d)
+	}
+	fmt.Fprint(w, ") ==\n")
+	if len(s.Hists) > 0 {
+		fmt.Fprintf(w, "%-28s %8s %10s %10s %10s %10s\n", "op", "count", "p50 us", "p95 us", "p99 us", "max us")
+		names := make([]string, 0, len(s.Hists))
+		for k := range s.Hists {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			h := s.Hists[name]
+			fmt.Fprintf(w, "%-28s %8d %10.1f %10.1f %10.1f %10.1f\n", name, h.Count,
+				h.Quantile(0.50)/1e3, h.Quantile(0.95)/1e3, h.Quantile(0.99)/1e3, float64(h.Max)/1e3)
+		}
+	}
+	if len(s.Counters) > 0 {
+		fmt.Fprintf(w, "%-40s %15s\n", "counter", "value")
+		names := make([]string, 0, len(s.Counters))
+		for k := range s.Counters {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "%-40s %15d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintf(w, "%-40s %15s\n", "gauge", "value")
+		names := make([]string, 0, len(s.Gauges))
+		for k := range s.Gauges {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(w, "%-40s %15.0f\n", name, s.Gauges[name])
+		}
 	}
 }
 

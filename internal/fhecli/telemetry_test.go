@@ -1,0 +1,102 @@
+package fhecli
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestChaosWritesFlightDump runs the chaos suite with -flight-out and
+// asserts the FLIGHT.json artifact exists, parses, and holds the spans
+// leading up to the injected faults.
+func TestChaosWritesFlightDump(t *testing.T) {
+	tmp := t.TempDir()
+	chaosOut := filepath.Join(tmp, "CHAOS.json")
+	flightOut := filepath.Join(tmp, "FLIGHT.json")
+	out, err := run(t, "-chaos", "-chaos-out", chaosOut, "-flight-out", flightOut)
+	if err != nil {
+		t.Fatalf("chaos suite failed: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(flightOut)
+	if err != nil {
+		t.Fatalf("chaos run left no flight dump: %v", err)
+	}
+	var d obs.FlightDump
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("FLIGHT.json does not parse: %v", err)
+	}
+	if !strings.HasPrefix(d.Reason, "chaos:") {
+		t.Errorf("flight reason = %q, want chaos summary", d.Reason)
+	}
+	if len(d.Spans) == 0 {
+		t.Fatal("flight dump holds no spans")
+	}
+	// The suite drives MulE/AddE/RotateE through the checked facade; the
+	// window must contain their spans.
+	var sawCkks bool
+	for _, sp := range d.Spans {
+		if strings.HasPrefix(sp.Name, "ckks.") {
+			sawCkks = true
+			break
+		}
+	}
+	if !sawCkks {
+		t.Errorf("no ckks.* spans in flight window (got %d spans)", len(d.Spans))
+	}
+	if len(d.Hists) == 0 {
+		t.Error("no latency histograms in flight dump")
+	}
+}
+
+// TestStatsFlagPrintsSummary checks the -stats end-of-run table: op
+// percentiles, counters and memory gauges all render.
+func TestStatsFlagPrintsSummary(t *testing.T) {
+	dir := setupKeys(t)
+	tmp := filepath.Dir(dir)
+	ctA := filepath.Join(tmp, "a.bin")
+	ctB := filepath.Join(tmp, "b.bin")
+	if _, err := run(t, "encrypt", "-dir", dir, "-out", ctA, "1", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run(t, "encrypt", "-dir", dir, "-out", ctB, "3", "4"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "-stats", "mul", "-dir", dir, "-out", filepath.Join(tmp, "p.bin"), ctA, ctB)
+	if err != nil {
+		t.Fatalf("mul with -stats: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"== telemetry",
+		"ckks.MulE", // checked-facade span histogram
+		"p95 us",
+		"ring.ntt",             // kernel counter
+		"ring.ntt.bytes",       // traffic counter
+		"mem.heap_alloc_bytes", // memory gauge
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStatsOffByDefault pins that a plain run prints no telemetry table
+// (the recorder stays nil, so instrumentation costs one nil check).
+func TestStatsOffByDefault(t *testing.T) {
+	dir := setupKeys(t)
+	tmp := filepath.Dir(dir)
+	ct := filepath.Join(tmp, "a.bin")
+	if _, err := run(t, "encrypt", "-dir", dir, "-out", ct, "1"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := run(t, "info", ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "telemetry") {
+		t.Fatalf("telemetry table printed without -stats:\n%s", out)
+	}
+}

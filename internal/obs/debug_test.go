@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// TestHealthzEndpoint pins the /healthz contract: a JSON liveness
+// report carrying recorder state (retained and dropped span counts).
+func TestHealthzEndpoint(t *testing.T) {
+	r := NewRecorder(WithSpanCap(2))
+	for i := 0; i < 5; i++ {
+		r.StartSpan("op").End()
+	}
+	d, err := NewDebugServer("localhost:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(time.Second)
+
+	var h struct {
+		Status       string  `json:"status"`
+		GoVersion    string  `json:"go_version"`
+		Uptime       float64 `json:"uptime_seconds"`
+		Recorder     bool    `json:"recorder_attached"`
+		Spans        int     `json:"retained_spans"`
+		DroppedSpans uint64  `json:"dropped_spans"`
+		Goroutines   int     `json:"goroutines"`
+	}
+	if err := json.Unmarshal(get(t, "http://"+d.Addr+"/healthz"), &h); err != nil {
+		t.Fatalf("healthz does not parse: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if !h.Recorder {
+		t.Error("recorder_attached = false with a live recorder")
+	}
+	if h.Spans != 2 {
+		t.Errorf("retained_spans = %d, want 2 (ring cap)", h.Spans)
+	}
+	if h.DroppedSpans != 3 {
+		t.Errorf("dropped_spans = %d, want 3", h.DroppedSpans)
+	}
+	if h.GoVersion == "" || h.Goroutines <= 0 || h.Uptime < 0 {
+		t.Errorf("implausible runtime fields: %+v", h)
+	}
+}
+
+// TestHealthzNilRecorder: the endpoint stays up with no recorder and
+// says so.
+func TestHealthzNilRecorder(t *testing.T) {
+	d, err := NewDebugServer("localhost:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(time.Second)
+	body := string(get(t, "http://"+d.Addr+"/healthz"))
+	if !strings.Contains(body, `"recorder_attached": false`) {
+		t.Fatalf("nil-recorder healthz:\n%s", body)
+	}
+	// /metrics must serve an empty exposition, not crash.
+	if resp := string(get(t, "http://"+d.Addr+"/metrics")); strings.Contains(resp, "panic") {
+		t.Fatalf("metrics with nil recorder:\n%s", resp)
+	}
+}
+
+// TestMetricsServesHistograms: a recorded histogram shows up on the
+// live /metrics endpoint in native Prometheus histogram form.
+func TestMetricsServesHistograms(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("ckks.Mult", 1000)
+	d, err := NewDebugServer("localhost:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown(time.Second)
+	body := string(get(t, "http://"+d.Addr+"/metrics"))
+	for _, want := range []string{
+		"# TYPE ckks_Mult_seconds histogram",
+		`ckks_Mult_seconds_bucket{le="+Inf"} 1`,
+		"ckks_Mult_seconds_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

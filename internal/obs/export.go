@@ -62,13 +62,21 @@ func (s Snapshot) WriteChromeTrace(w io.Writer) error {
 		}
 		tr.TraceEvents = append(tr.TraceEvents, ev)
 	}
-	if len(s.Counters) > 0 || len(s.Gauges) > 0 {
-		args := make(map[string]uint64, len(s.Counters)+len(s.Gauges))
+	if len(s.Counters) > 0 || len(s.Gauges) > 0 || len(s.Hists) > 0 {
+		args := make(map[string]uint64, len(s.Counters)+len(s.Gauges)+4*len(s.Hists))
 		for k, v := range s.Counters {
 			args[k] = v
 		}
 		for k, v := range s.Gauges {
 			args[k] = uint64(v)
+		}
+		// Histograms surface as their headline latencies (nanoseconds) so
+		// the percentiles are visible next to the trace they summarize.
+		for k, h := range s.Hists {
+			args[k+".p50_ns"] = uint64(h.Quantile(0.50))
+			args[k+".p95_ns"] = uint64(h.Quantile(0.95))
+			args[k+".p99_ns"] = uint64(h.Quantile(0.99))
+			args[k+".max_ns"] = h.Max
 		}
 		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
 			Name: "metrics", Ph: "i", Ts: end, Pid: 1, Tid: 1, Args: args,
@@ -95,6 +103,48 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 			strconv.FormatFloat(s.Gauges[name], 'g', -1, 64)); err != nil {
 			return err
 		}
+	}
+	for _, name := range sortedKeys(s.Hists) {
+		if err := writePromHistogram(w, name, s.Hists[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writePromHistogram emits one histogram in Prometheus exposition format.
+// Observations are recorded in nanoseconds; per Prometheus convention the
+// metric is exported in seconds with cumulative le= buckets. Empty
+// leading buckets collapse into the first populated bound to keep the
+// exposition compact; trailing buckets collapse into +Inf.
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	metric := promName(name) + "_seconds"
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
+		return err
+	}
+	first, last := -1, -1
+	for i, n := range h.Buckets {
+		if n > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	var cum uint64
+	for i := first; i >= 0 && i <= last; i++ {
+		cum += h.Buckets[i]
+		le := strconv.FormatFloat(bucketUpper(i)/1e9, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", metric, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", metric, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", metric,
+		strconv.FormatFloat(float64(h.Sum)/1e9, 'g', -1, 64), metric, h.Count); err != nil {
+		return err
 	}
 	return nil
 }
@@ -159,6 +209,26 @@ func (s Snapshot) WriteCSV(w io.Writer) error {
 	for _, name := range sortedKeys(s.Gauges) {
 		if err := cw.Write([]string{"gauge", "", "", name, "", "", strconv.FormatFloat(s.Gauges[name], 'g', -1, 64)}); err != nil {
 			return err
+		}
+	}
+	// Histograms flatten into one row per summary statistic, with the
+	// value in the shared value column (microseconds for latencies).
+	for _, name := range sortedKeys(s.Hists) {
+		h := s.Hists[name]
+		for _, stat := range []struct {
+			suffix string
+			value  float64
+		}{
+			{"count", float64(h.Count)},
+			{"p50_us", h.Quantile(0.50) / 1e3},
+			{"p95_us", h.Quantile(0.95) / 1e3},
+			{"p99_us", h.Quantile(0.99) / 1e3},
+			{"max_us", float64(h.Max) / 1e3},
+		} {
+			if err := cw.Write([]string{"hist", "", "", name + "." + stat.suffix, "", "",
+				strconv.FormatFloat(stat.value, 'f', 3, 64)}); err != nil {
+				return err
+			}
 		}
 	}
 	cw.Flush()

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of log₂ buckets a Histogram carries. Bucket i
+// holds values v with bits.Len64(v) == i, i.e. v ∈ [2^(i-1), 2^i), so the
+// full uint64 range is covered with 65 fixed buckets and recording never
+// allocates.
+const histBuckets = 65
+
+// Histogram is a lock-cheap, log₂-bucketed latency/size distribution.
+// Record is a handful of atomic adds (no locks, no allocation), so it is
+// safe to call from hot parallel loops; readers take a Snapshot and
+// compute quantiles offline. Histograms created by different recorders
+// (or shards of one workload) merge exactly: bucket counts, totals and
+// maxima all add, so HistogramSnapshot.Merge loses nothing.
+//
+// A nil *Histogram is a valid no-op, mirroring the Recorder contract.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // total of recorded values
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Record adds one observation. Values are untyped uint64s; the recorder's
+// duration helpers record nanoseconds.
+func (h *Histogram) Record(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram's current state. Because Record is not a
+// single atomic transaction, a snapshot taken mid-Record can be ahead or
+// behind by in-flight observations, but it never tears a single value:
+// every field is read atomically and quantiles are computed from the
+// bucket copy alone.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a Histogram, the unit the
+// exporters and the merge operation work on.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets [histBuckets]uint64
+}
+
+// Merge adds another snapshot's observations into this one (shard
+// roll-up). Log buckets merge exactly — no re-bucketing error.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+}
+
+// Mean returns the arithmetic mean of the recorded values (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q ∈ [0,1]) from the log buckets: the
+// answer is the geometric midpoint of the bucket where the cumulative
+// count crosses q·Count, clamped to the recorded maximum. The estimate is
+// exact to within the bucket's 2× width, which is the resolution the
+// log-bucket design trades for lock-free recording.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, n := range s.Buckets {
+		cum += n
+		if float64(cum) >= rank && n > 0 {
+			v := bucketMid(i)
+			if m := float64(s.Max); v > m {
+				v = m
+			}
+			return v
+		}
+	}
+	return float64(s.Max)
+}
+
+// bucketMid returns the representative value of bucket i: the geometric
+// midpoint of [2^(i-1), 2^i), or 0 for the zero bucket.
+func bucketMid(i int) float64 {
+	if i == 0 {
+		return 0
+	}
+	lo := math.Pow(2, float64(i-1))
+	return lo * math.Sqrt2
+}
+
+// bucketUpper returns the exclusive upper bound of bucket i as a float64
+// (used for Prometheus le= labels).
+func bucketUpper(i int) float64 {
+	return math.Pow(2, float64(i))
+}
+
+// histogram returns the recorder's histogram cell for name, creating it
+// on first use (same sharding discipline as counters).
+func (r *Recorder) histogram(name string) *Histogram {
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram)
+	}
+	h, _ := r.hists.LoadOrStore(name, new(Histogram))
+	return h.(*Histogram)
+}
+
+// Observe records one observation into the named histogram. Lock-free
+// after the first observation of each name; a nil recorder is a no-op.
+func (r *Recorder) Observe(name string, v uint64) {
+	if r == nil {
+		return
+	}
+	r.histogram(name).Record(v)
+}
+
+// ObserveDuration records a latency observation in nanoseconds.
+func (r *Recorder) ObserveDuration(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	r.histogram(name).Record(uint64(d))
+}
+
+// Hist returns a snapshot of the named histogram (zero-valued when absent
+// or when the recorder is nil).
+func (r *Recorder) Hist(name string) HistogramSnapshot {
+	if r == nil {
+		return HistogramSnapshot{}
+	}
+	if h, ok := r.hists.Load(name); ok {
+		return h.(*Histogram).Snapshot()
+	}
+	return HistogramSnapshot{}
+}
+
+// histSnapshot copies every non-empty histogram (nil when none exist).
+func (r *Recorder) histSnapshot() map[string]HistogramSnapshot {
+	var out map[string]HistogramSnapshot
+	r.hists.Range(func(k, v any) bool {
+		if s := v.(*Histogram).Snapshot(); s.Count > 0 {
+			if out == nil {
+				out = make(map[string]HistogramSnapshot)
+			}
+			out[k.(string)] = s
+		}
+		return true
+	})
+	return out
+}

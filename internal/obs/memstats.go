@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime memory telemetry: a runtime.MemStats poller publishing
+// heap/GC/goroutine gauges into a recorder, so the /metrics endpoint and
+// the end-of-run stats table expose the process's live working set next
+// to the kernel bytes-moved counters. MAD's thesis is that FHE cost is
+// governed by memory behavior; this is the runtime half of measuring it.
+
+// PublishMemStats reads runtime.MemStats once and publishes the gauges:
+//
+//	mem.heap_alloc_bytes   live heap objects
+//	mem.heap_inuse_bytes   heap spans in use
+//	mem.heap_sys_bytes     heap reserved from the OS
+//	mem.stack_inuse_bytes  goroutine stacks
+//	mem.working_set_bytes  heap_inuse + stack_inuse — the process's
+//	                       resident working set, the runtime counterpart
+//	                       of the paper's on-chip working-set analysis
+//	mem.num_gc             completed GC cycles
+//	mem.gc_pause_total_ns  cumulative stop-the-world pause
+//	mem.gc_cpu_fraction    fraction of CPU spent in GC
+//	mem.goroutines         live goroutines
+//
+// Safe on a nil recorder (no-op). ReadMemStats stops the world briefly;
+// call it at op boundaries or from the poller, not inside kernels.
+func PublishMemStats(r *Recorder) {
+	if r == nil {
+		return
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	r.SetGauge("mem.heap_alloc_bytes", float64(m.HeapAlloc))
+	r.SetGauge("mem.heap_inuse_bytes", float64(m.HeapInuse))
+	r.SetGauge("mem.heap_sys_bytes", float64(m.HeapSys))
+	r.SetGauge("mem.stack_inuse_bytes", float64(m.StackInuse))
+	r.SetGauge("mem.working_set_bytes", float64(m.HeapInuse+m.StackInuse))
+	r.SetGauge("mem.num_gc", float64(m.NumGC))
+	r.SetGauge("mem.gc_pause_total_ns", float64(m.PauseTotalNs))
+	r.SetGauge("mem.gc_cpu_fraction", m.GCCPUFraction)
+	r.SetGauge("mem.goroutines", float64(runtime.NumGoroutine()))
+}
+
+// StartMemPoller publishes MemStats gauges into r every interval until
+// the returned stop function is called. Stop is idempotent and waits for
+// the poller goroutine to exit. A nil recorder (or non-positive
+// interval) returns a no-op stop without starting anything.
+func StartMemPoller(r *Recorder, interval time.Duration) (stop func()) {
+	if r == nil || interval <= 0 {
+		return func() {}
+	}
+	PublishMemStats(r) // publish immediately so short runs still see gauges
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				PublishMemStats(r)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+		})
+	}
+}

@@ -1,8 +1,10 @@
 // Package obs is the repository's zero-dependency observability layer:
-// hierarchical wall-clock spans, monotonic counters and gauges, collected
-// by a concurrency-safe Recorder and exportable as a Chrome trace_event
-// JSON file (loadable in chrome://tracing or Perfetto), Prometheus text
-// exposition format, or CSV.
+// hierarchical wall-clock spans with bounded flight-recorder retention,
+// monotonic counters, gauges and lock-cheap log-bucketed latency
+// histograms, collected by a concurrency-safe Recorder and exportable as
+// a Chrome trace_event JSON file (loadable in chrome://tracing or
+// Perfetto), Prometheus text exposition format, CSV, or a FLIGHT.json
+// post-mortem dump (see DumpFlight).
 //
 // The package is designed so that instrumentation can stay compiled into
 // hot paths permanently: every method is safe on a nil *Recorder (and a
@@ -22,23 +24,53 @@ import (
 	"time"
 )
 
-// Recorder collects spans, counters and gauges. The zero value is NOT
-// ready for use — construct with NewRecorder. A nil *Recorder is the
-// no-op recorder: every method returns immediately.
+// DefaultSpanCap is the span retention limit of a recorder constructed
+// without WithSpanCap: enough to hold the recent history of a heavy
+// serving workload (a bootstrap records a few dozen spans) while keeping
+// the worst-case footprint bounded — the flight-recorder property a
+// long-running server needs.
+const DefaultSpanCap = 16384
+
+// DroppedSpansCounter is the counter incremented once per span evicted
+// from the bounded span ring.
+const DroppedSpansCounter = "obs.dropped_spans"
+
+// Recorder collects spans, counters, gauges and histograms. The zero
+// value is NOT ready for use — construct with NewRecorder. A nil
+// *Recorder is the no-op recorder: every method returns immediately.
 //
-// Counters are sharded: each name maps (via a sync.Map) to its own
-// *atomic.Uint64, so concurrent Add calls on hot kernels (ring.ntt is
-// incremented once per limb per transform) scale without serializing on
-// the recorder mutex. The mutex still guards spans and gauges, which are
-// cold by comparison.
+// Counters and histograms are sharded: each name maps (via a sync.Map)
+// to its own atomic cell, so concurrent Add/Observe calls on hot kernels
+// (ring.ntt is incremented once per limb per transform) scale without
+// serializing on the recorder mutex. The mutex still guards spans and
+// gauges, which are cold by comparison.
+//
+// Span retention is bounded: the recorder keeps the most recent spanCap
+// finished spans in a ring buffer and counts evictions in the
+// "obs.dropped_spans" counter, so a recorder attached to a long-running
+// process is a flight recorder — constant memory, always holding the
+// spans that led up to now — rather than a leak.
 type Recorder struct {
 	mu       sync.Mutex
 	start    time.Time
 	now      func() time.Time // injectable clock for deterministic tests
 	spans    []SpanRecord
+	head     int // next overwrite position once len(spans) == spanCap
+	spanCap  int // ≤ 0 means unbounded
 	counters sync.Map // string → *atomic.Uint64
+	hists    sync.Map // string → *Histogram
 	gauges   map[string]float64
 	nextID   atomic.Uint64
+}
+
+// RecorderOption configures a Recorder at construction time.
+type RecorderOption func(*Recorder)
+
+// WithSpanCap bounds span retention to the most recent n finished spans
+// (the flight-recorder ring). n ≤ 0 removes the bound entirely. The
+// default is DefaultSpanCap.
+func WithSpanCap(n int) RecorderOption {
+	return func(r *Recorder) { r.spanCap = n }
 }
 
 // counter returns the atomic cell for name, creating it on first use.
@@ -92,13 +124,19 @@ type Span struct {
 	snap   map[string]uint64
 }
 
-// NewRecorder returns an empty, enabled recorder.
-func NewRecorder() *Recorder {
-	return &Recorder{
-		start:  time.Now(),
-		now:    time.Now,
-		gauges: make(map[string]float64),
+// NewRecorder returns an empty, enabled recorder. Span retention
+// defaults to DefaultSpanCap; override with WithSpanCap.
+func NewRecorder(opts ...RecorderOption) *Recorder {
+	r := &Recorder{
+		start:   time.Now(),
+		now:     time.Now,
+		spanCap: DefaultSpanCap,
+		gauges:  make(map[string]float64),
 	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
 }
 
 // StartSpan opens a root span. End must be called to record it.
@@ -125,7 +163,10 @@ func (r *Recorder) startSpan(name string, parent uint64) *Span {
 	return &Span{r: r, id: id, parent: parent, name: name, start: r.now(), snap: snap}
 }
 
-// End finishes the span and records it.
+// End finishes the span, records it into the bounded span ring (evicting
+// the oldest record and bumping "obs.dropped_spans" when full), and feeds
+// the span's duration into the histogram named after the span — so every
+// instrumented operation gets p50/p95/p99 latencies for free.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -134,24 +175,49 @@ func (s *Span) End() {
 	end := r.now()
 	var delta map[string]uint64
 	r.counters.Range(func(k, v any) bool {
-		if d := v.(*atomic.Uint64).Load() - s.snap[k.(string)]; d > 0 {
+		// A Reset between StartSpan and End can zero counters below the
+		// span's snapshot; an unsigned subtraction would wrap to a garbage
+		// near-2^64 delta, so deltas are clamped at zero instead.
+		if cur := v.(*atomic.Uint64).Load(); cur > s.snap[k.(string)] {
 			if delta == nil {
 				delta = make(map[string]uint64)
 			}
-			delta[k.(string)] = d
+			delta[k.(string)] = cur - s.snap[k.(string)]
 		}
 		return true
 	})
+	dur := end.Sub(s.start)
+	r.histogram(s.name).Record(uint64(max(dur, 0)))
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.spans = append(r.spans, SpanRecord{
+	start := s.start.Sub(r.start)
+	if start < 0 {
+		// The epoch was re-anchored by Reset while this span was in
+		// flight; pin it to the new epoch's origin.
+		start = 0
+	}
+	rec := SpanRecord{
 		ID:       s.id,
 		Parent:   s.parent,
 		Name:     s.name,
-		Start:    s.start.Sub(r.start),
-		Dur:      end.Sub(s.start),
+		Start:    start,
+		Dur:      dur,
 		Counters: delta,
-	})
+	}
+	dropped := false
+	if r.spanCap > 0 && len(r.spans) >= r.spanCap {
+		r.spans[r.head] = rec
+		r.head++
+		if r.head == r.spanCap {
+			r.head = 0
+		}
+		dropped = true
+	} else {
+		r.spans = append(r.spans, rec)
+	}
+	r.mu.Unlock()
+	if dropped {
+		r.counter(DroppedSpansCounter).Add(1)
+	}
 }
 
 // Add increments a monotonic counter. It is lock-free after the first
@@ -186,18 +252,27 @@ func (r *Recorder) Counter(name string) uint64 {
 	return 0
 }
 
-// Reset drops all recorded spans and zeroes counters and gauges.
+// Reset drops all recorded spans, zeroes counters, gauges and
+// histograms, and re-anchors the epoch: spans recorded after a Reset
+// export with Start offsets relative to the Reset, not to the dead
+// original epoch.
 func (r *Recorder) Reset() {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	r.spans = nil
+	r.spans = r.spans[:0]
+	r.head = 0
 	r.gauges = make(map[string]float64)
+	r.start = r.now()
 	r.mu.Unlock()
 	// sync.Map cannot be reassigned (it embeds a Mutex); delete in place.
 	r.counters.Range(func(k, _ any) bool {
 		r.counters.Delete(k)
+		return true
+	})
+	r.hists.Range(func(k, _ any) bool {
+		r.hists.Delete(k)
 		return true
 	})
 }
@@ -209,9 +284,12 @@ type Snapshot struct {
 	Spans    []SpanRecord
 	Counters map[string]uint64
 	Gauges   map[string]float64
+	Hists    map[string]HistogramSnapshot
 }
 
-// Snapshot copies the recorder's current state.
+// Snapshot copies the recorder's current state. When the span ring has
+// wrapped, spans come back oldest-first (recording order), exactly the
+// retained window a flight dump serializes.
 func (r *Recorder) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
@@ -221,10 +299,12 @@ func (r *Recorder) Snapshot() Snapshot {
 		s.Counters[k.(string)] = v.(*atomic.Uint64).Load()
 		return true
 	})
+	s.Hists = r.histSnapshot()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	s.Spans = make([]SpanRecord, len(r.spans))
-	copy(s.Spans, r.spans)
+	s.Spans = make([]SpanRecord, 0, len(r.spans))
+	s.Spans = append(s.Spans, r.spans[r.head:]...)
+	s.Spans = append(s.Spans, r.spans[:r.head]...)
 	s.Gauges = make(map[string]float64, len(r.gauges))
 	for k, v := range r.gauges {
 		s.Gauges[k] = v

@@ -16,6 +16,10 @@ import (
 // capped at 61 bits (mathutil.MaxModulusBits) so 4q never overflows.
 func (s *SubRing) NTT(p []uint64) {
 	s.rec.Add("ring.ntt", 1)
+	// One full read and one full write of the limb, 8 bytes each way —
+	// the minimum traffic an in-place transform moves when the limb
+	// misses cache (the paper's §4 bytes-per-kernel accounting).
+	s.rec.Add("ring.ntt.bytes", 16*uint64(len(p)))
 	s.tr.Read(p)
 	n, q := s.N, s.Q
 	twoQ := 2 * q
@@ -65,6 +69,7 @@ func lazyMulShoup(x, w, wShoup, q uint64) uint64 {
 // each butterfly); the closing N^{-1} sweep performs the exact reduction.
 func (s *SubRing) INTT(p []uint64) {
 	s.rec.Add("ring.intt", 1)
+	s.rec.Add("ring.intt.bytes", 16*uint64(len(p)))
 	s.tr.Read(p)
 	n, q := s.N, s.Q
 	twoQ := 2 * q

@@ -5,9 +5,27 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fherr"
+	"repro/internal/obs"
 )
+
+// taskRec is the recorder Parallel/ParallelChunked feed task latencies
+// into. Parallel is a free function, so the attachment is package-level;
+// an atomic pointer keeps SetTaskRecorder safe against in-flight pools.
+// When nil (the default) the only cost on the fan-out path is one atomic
+// pointer load per Parallel call — the serial path is untouched.
+var taskRec atomic.Pointer[obs.Recorder]
+
+// SetTaskRecorder attaches rec (nil detaches) to the worker pool: each
+// task executed on a pool goroutine records its wall-clock latency into
+// the "ring.parallel.task" histogram. Task latency spread is the
+// load-balance signal — a long p99 tail on uniform limb work means the
+// scheduler, not the kernel, is the bottleneck.
+func SetTaskRecorder(rec *obs.Recorder) {
+	taskRec.Store(rec)
+}
 
 // Shared execution layer: a lightweight worker pool over an index range.
 //
@@ -112,6 +130,7 @@ func Parallel(n, workers int, fn func(i int)) {
 		next <- i
 	}
 	close(next)
+	rec := taskRec.Load()
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		go func() {
@@ -121,7 +140,13 @@ func Parallel(n, workers int, fn func(i int)) {
 				if pc.stop.Load() {
 					continue // drain cancelled items
 				}
-				fn(i)
+				if rec != nil {
+					t0 := time.Now()
+					fn(i)
+					rec.ObserveDuration("ring.parallel.task", time.Since(t0))
+				} else {
+					fn(i)
+				}
 			}
 		}()
 	}
@@ -149,6 +174,7 @@ func ParallelChunked(n, workers int, fn func(worker, start, end int)) {
 	}
 	var wg sync.WaitGroup
 	var pc panicCollector
+	rec := taskRec.Load()
 	wg.Add(w)
 	for g := 0; g < w; g++ {
 		start := g * n / w
@@ -157,7 +183,13 @@ func ParallelChunked(n, workers int, fn func(worker, start, end int)) {
 			defer wg.Done()
 			defer pc.capture()
 			if start < end && !pc.stop.Load() {
-				fn(g, start, end)
+				if rec != nil {
+					t0 := time.Now()
+					fn(g, start, end)
+					rec.ObserveDuration("ring.parallel.task", time.Since(t0))
+				} else {
+					fn(g, start, end)
+				}
 			}
 		}(g, start, end)
 	}

@@ -140,13 +140,17 @@ func NewRing(n int, moduli []uint64) (*Ring, error) {
 // MaxLevel returns the highest level (index of the last modulus).
 func (r *Ring) MaxLevel() int { return len(r.Moduli) - 1 }
 
-// SetRecorder attaches rec (nil detaches) to every sub-ring, enabling the
-// ring.ntt / ring.intt kernel counters. AtLevel views share sub-rings, so
-// attaching to the full ring covers every view and vice versa.
+// SetRecorder attaches rec (nil detaches) to every sub-ring and to the
+// scratch pool, enabling the ring.ntt / ring.intt kernel counters, the
+// ring.ntt.bytes / ring.intt.bytes traffic counters and the
+// ring.pool.get / ring.pool.miss occupancy counters. AtLevel views share
+// sub-rings and the scratch pool, so attaching to the full ring covers
+// every view and vice versa.
 func (r *Ring) SetRecorder(rec *obs.Recorder) {
 	for _, s := range r.SubRings {
 		s.rec = rec
 	}
+	r.scratch.rec.Store(rec)
 }
 
 // SetTracer attaches t (nil detaches) to every sub-ring, enabling the

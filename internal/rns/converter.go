@@ -45,8 +45,10 @@ type Converter struct {
 	upPool sync.Pool // *modUpScratch: ModUpDigit output-view headers
 
 	// rec, when non-nil, receives the counters "rns.extend" (basis
-	// extensions performed) and "rns.extend.coeffs" (coefficients
-	// converted). A nil recorder costs one nil check per conversion.
+	// extensions performed), "rns.extend.coeffs" (coefficients
+	// converted), "rns.extend.bytes" (kernel read+write traffic),
+	// and "rns.pool.get" / "rns.pool.miss" (raised-scratch occupancy).
+	// A nil recorder costs one nil check per conversion.
 	rec *obs.Recorder
 
 	// tr, when non-nil, records the limb-granular memory access stream of
@@ -61,6 +63,7 @@ type Converter struct {
 func NewConverter(ringQ, ringP *ring.Ring) *Converter {
 	c := &Converter{RingQ: ringQ, RingP: ringP, tables: make(map[tableKey]*ExtTable)}
 	c.qpPool.New = func() any {
+		c.rec.Add("rns.pool.miss", 1)
 		p := c.NewPolyQP(ringQ.MaxLevel())
 		return &p
 	}
@@ -88,6 +91,7 @@ func (c *Converter) NewPolyQP(levelQ int) PolyQP {
 // level. Contents are stale; overwrite before reading. Pair with
 // PutPolyQP.
 func (c *Converter) GetPolyQP(levelQ int) PolyQP {
+	c.rec.Add("rns.pool.get", 1)
 	p := c.qpPool.Get().(*PolyQP)
 	p.Q.Resize(levelQ + 1)
 	return *p
@@ -195,6 +199,10 @@ func putViews(v *extendViews) {
 func (c *Converter) extend(t *ExtTable, src, dst [][]uint64, n, workers int, srcClass, dstClass memtrace.Class) {
 	c.rec.Add("rns.extend", 1)
 	c.rec.Add("rns.extend.coeffs", uint64(n))
+	// Compulsory traffic of one conversion: read every source limb once,
+	// write every destination limb once, 8 bytes per coefficient — the
+	// figure the cost model's Extend term predicts (§4, Table 3).
+	c.rec.Add("rns.extend.bytes", 8*uint64(n)*uint64(len(src)+len(dst)))
 	if c.tr != nil {
 		t.ExtendTraced(src, dst, c.tr, srcClass, dstClass)
 		return
