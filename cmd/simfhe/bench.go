@@ -73,7 +73,7 @@ func parseWorkerList(s string) ([]int, error) {
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	workersFlag := fs.String("workers", "", "comma-separated worker counts to sweep (default 1,2,NumCPU)")
-	suite := fs.String("suite", "parallel", "benchmark suite: parallel (worker sweep), extend (basis-extension kernels)")
+	suite := fs.String("suite", "parallel", "benchmark suite: parallel (worker sweep), extend (basis-extension kernels), ntt (fused NTT kernels + traffic replay)")
 	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_<suite>.json)")
 	fs.Parse(args)
 	switch *suite {
@@ -87,8 +87,14 @@ func benchCmd(args []string) {
 		}
 		benchExtendSuite(*out)
 		return
+	case "ntt":
+		if *out == "" {
+			*out = "BENCH_ntt.json"
+		}
+		benchNTTSuite(*out)
+		return
 	default:
-		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (want parallel or extend)\n", *suite)
+		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (want parallel, extend or ntt)\n", *suite)
 		os.Exit(2)
 	}
 	counts, err := parseWorkerList(*workersFlag)

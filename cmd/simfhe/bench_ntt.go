@@ -1,0 +1,233 @@
+package main
+
+// The ntt suite measures the cache-blocked fused NTT/INTT kernel rewrite
+// against the retained golden oracle, in the two currencies this repo
+// tracks:
+//
+//   - wall-clock ns/op on the host CPU (testing.Benchmark), fused vs
+//     reference, at the bootstrap-scale ring degree the extend suite uses
+//     (N = 2^13) plus a single-tile size;
+//   - measured DRAM traffic: the fused kernel's recorded access stream
+//     and the reference schedule's access stream (one read+write sweep
+//     per butterfly stage plus the epilogue sweep — exactly what the
+//     retained oracle performs) are both replayed through the memtrace
+//     cache simulator at a scratchpad-sized capacity, and the ratio of
+//     measured bytes is reported.
+//
+// The traffic ratio is the suite's acceptance gate (≥ 1.5×): the paper's
+// §4 accounting is in bytes moved, and on hosts whose last-level cache
+// dwarfs a limb the memory-schedule win is invisible in wall-clock time
+// (see docs/PERF.md) while remaining real for any memory-bound target.
+// Wall-clock speedups are reported alongside, honestly, as measured.
+// Results land in BENCH_ntt.json; benchdiff gates the fused ns/op
+// trajectory against the committed baseline.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/mathutil"
+	"repro/internal/memtrace"
+	"repro/internal/prng"
+	"repro/internal/ring"
+)
+
+// nttKernelResult is one transform size, fused vs reference wall clock.
+type nttKernelResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Passes      int     `json:"passes"`
+	NsFused     int64   `json:"ns_fused"`
+	NsReference int64   `json:"ns_reference"`
+	WallSpeedup float64 `json:"wall_speedup"`
+	AllocsFused int64   `json:"allocs_per_op_fused"`
+}
+
+// nttTrafficResult is one cache-replay comparison: the reference
+// schedule's DRAM bytes vs the blocked kernel's, at the same simulated
+// capacity. TrafficSpeedup = BytesReference / BytesBlocked.
+type nttTrafficResult struct {
+	Name           string  `json:"name"`
+	N              int     `json:"n"`
+	Passes         int     `json:"passes"`
+	CacheBytes     uint64  `json:"cache_bytes"`
+	BytesReference uint64  `json:"bytes_reference"`
+	BytesBlocked   uint64  `json:"bytes_blocked"`
+	TrafficSpeedup float64 `json:"traffic_speedup"`
+}
+
+type nttBenchReport struct {
+	Meta       runMeta            `json:"meta"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	LogN       int                `json:"logN"`
+	Tile       int                `json:"ntt_tile"`
+	Note       string             `json:"note"`
+	Kernels    []nttKernelResult  `json:"kernels"`
+	Traffic    []nttTrafficResult `json:"traffic"`
+}
+
+// nttTrafficGate is the acceptance bar on the measured traffic ratio at
+// the blocked (bootstrap-scale) size.
+const nttTrafficGate = 1.5
+
+// nttBenchRing builds a single-modulus ring at the given size with a
+// 61-bit NTT prime (the modulus cap the kernels' lazy bound is tightest
+// against).
+func nttBenchRing(n int) *ring.Ring {
+	logN := 0
+	for 1<<logN < n {
+		logN++
+	}
+	primes, err := mathutil.GenerateNTTPrimes(61, logN, 1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	r, err := ring.NewRing(n, primes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	return r
+}
+
+// referenceNTTSchedule records the access stream of the retained oracle:
+// one full read+write sweep of the limb per butterfly stage (log2 N
+// stages) plus the separate exact-reduction epilogue sweep. This is the
+// schedule NTTReference/INTTReference perform by construction; recording
+// it symbolically keeps the oracles themselves hook-free.
+func referenceNTTSchedule(tr *memtrace.Tracer, p []uint64) {
+	logN := 0
+	for 1<<logN < len(p) {
+		logN++
+	}
+	for stage := 0; stage < logN; stage++ {
+		tr.Read(p)
+		tr.Write(p)
+	}
+	tr.Read(p) // epilogue: exact-reduction (or N^{-1}) sweep
+	tr.Write(p)
+}
+
+func benchNTTSuite(outPath string) {
+	const logN = 13
+	sizes := []int{ring.NTTTile, 4 * ring.NTTTile} // single-phase and blocked
+	// Replay capacity: a 32 KiB scratchpad slice — twice a 16 KiB tile,
+	// half the 64 KiB blocked-size limb. The reference's per-stage full
+	// sweeps thrash it (every stage re-misses the whole limb) while the
+	// blocked kernel's per-phase tiles fit; the single-tile size doubles
+	// as the control, where the limb itself fits and both schedules are
+	// cache-resident after the compulsory pass.
+	geo := memtrace.Geometry{CapacityBytes: 32 << 10}
+
+	var seed [prng.SeedSize]byte
+	copy(seed[:], "simfhe bench deterministic seed")
+	src := prng.NewSource(seed)
+
+	report := nttBenchReport{
+		Meta:       collectMeta(fmt.Sprintf("suite=ntt logN=%d tile=%d", logN, ring.NTTTile)),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		LogN:       logN,
+		Tile:       ring.NTTTile,
+		Note: "fused = cache-blocked fused-butterfly kernel; reference = retained " +
+			"oracle (bit-identical outputs, enforced by tests). traffic_speedup is " +
+			"measured DRAM bytes via memtrace cache replay at cache_bytes capacity — " +
+			"the gated metric; wall_speedup is host wall clock, compute-bound when " +
+			"the host cache holds the working set (see docs/PERF.md)",
+	}
+
+	for _, n := range sizes {
+		r := nttBenchRing(n)
+		s := r.SubRings[0]
+		p := r.NewPoly()
+		r.SampleUniform(src, p)
+		passes := ring.NTTPasses(n)
+
+		for _, dir := range []string{"ntt", "intt"} {
+			fused := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if dir == "ntt" {
+						s.NTT(p.Coeffs[0])
+					} else {
+						s.INTT(p.Coeffs[0])
+					}
+				}
+			})
+			ref := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if dir == "ntt" {
+						s.NTTReference(p.Coeffs[0])
+					} else {
+						s.INTTReference(p.Coeffs[0])
+					}
+				}
+			})
+			res := nttKernelResult{
+				Name:        fmt.Sprintf("%s_n%d", dir, n),
+				N:           n,
+				Passes:      passes,
+				NsFused:     fused.NsPerOp(),
+				NsReference: ref.NsPerOp(),
+				WallSpeedup: float64(ref.NsPerOp()) / float64(fused.NsPerOp()),
+				AllocsFused: fused.AllocsPerOp(),
+			}
+			report.Kernels = append(report.Kernels, res)
+			fmt.Fprintf(os.Stderr, "bench: %s fused=%d ns/op reference=%d ns/op (%.2fx wall, %d allocs/op)\n",
+				res.Name, res.NsFused, res.NsReference, res.WallSpeedup, res.AllocsFused)
+		}
+
+		// Traffic replay: trace the fused kernel's real access stream and
+		// the reference schedule, measure both at the same capacity.
+		for _, dir := range []string{"ntt", "intt"} {
+			blockedTr := memtrace.New()
+			r.SetTracer(blockedTr)
+			if dir == "ntt" {
+				s.NTT(p.Coeffs[0])
+			} else {
+				s.INTT(p.Coeffs[0])
+			}
+			r.SetTracer(nil)
+			refTr := memtrace.New()
+			referenceNTTSchedule(refTr, p.Coeffs[0])
+
+			blocked := memtrace.Measure(blockedTr.Events(), geo, nil).Total()
+			refBytes := memtrace.Measure(refTr.Events(), geo, nil).Total()
+			res := nttTrafficResult{
+				Name:           fmt.Sprintf("%s_traffic_n%d", dir, n),
+				N:              n,
+				Passes:         passes,
+				CacheBytes:     geo.CapacityBytes,
+				BytesReference: refBytes,
+				BytesBlocked:   blocked,
+				TrafficSpeedup: float64(refBytes) / float64(blocked),
+			}
+			report.Traffic = append(report.Traffic, res)
+			fmt.Fprintf(os.Stderr, "bench: %s reference=%d B blocked=%d B (%.2fx traffic)\n",
+				res.Name, res.BytesReference, res.BytesBlocked, res.TrafficSpeedup)
+		}
+	}
+
+	writeBenchJSON(report, outPath)
+
+	// Acceptance gate: the blocked schedule must move ≥ 1.5× fewer bytes
+	// than the reference schedule at the blocked (two-pass) size, and the
+	// fused kernels must be allocation-free.
+	for _, tr := range report.Traffic {
+		if tr.Passes > 1 && tr.TrafficSpeedup < nttTrafficGate {
+			fmt.Fprintf(os.Stderr, "bench: FAIL — %s traffic speedup %.2fx below the %.1fx gate\n",
+				tr.Name, tr.TrafficSpeedup, nttTrafficGate)
+			os.Exit(1)
+		}
+	}
+	for _, k := range report.Kernels {
+		if k.AllocsFused != 0 {
+			fmt.Fprintf(os.Stderr, "bench: FAIL — %s allocates %d objects/op, want 0\n", k.Name, k.AllocsFused)
+			os.Exit(1)
+		}
+	}
+}

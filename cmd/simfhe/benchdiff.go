@@ -17,14 +17,20 @@ func benchdiffCmd(args []string) {
 	fs := flag.NewFlagSet("benchdiff", flag.ExitOnError)
 	baseline := fs.String("baseline", "BENCH_extend.json", "committed baseline report (JSON)")
 	current := fs.String("current", "", "fresh report to compare (JSON); empty measures the extend suite now")
-	suite := fs.String("suite", "extend", "suite to measure when -current is empty: extend (parallel must be pre-measured)")
+	suite := fs.String("suite", "extend", "suite to measure when -current is empty: extend or ntt (parallel must be pre-measured)")
 	threshold := fs.Float64("threshold", 0.25, "max allowed slowdown fraction (0.25 = +25%)")
 	fs.Parse(args)
 
 	curPath := *current
 	if curPath == "" {
-		if *suite != "extend" {
-			fmt.Fprintln(os.Stderr, "benchdiff: only the extend suite can be measured in-process; "+
+		var measure func(string)
+		switch *suite {
+		case "extend":
+			measure = benchExtendSuite
+		case "ntt":
+			measure = benchNTTSuite
+		default:
+			fmt.Fprintln(os.Stderr, "benchdiff: only the extend and ntt suites can be measured in-process; "+
 				"run `simfhe bench -suite parallel -out FILE` first and pass -current FILE")
 			os.Exit(2)
 		}
@@ -35,8 +41,8 @@ func benchdiffCmd(args []string) {
 		}
 		defer os.RemoveAll(tmp)
 		curPath = filepath.Join(tmp, "current.json")
-		fmt.Fprintln(os.Stderr, "benchdiff: measuring fresh extend suite ...")
-		benchExtendSuite(curPath)
+		fmt.Fprintf(os.Stderr, "benchdiff: measuring fresh %s suite ...\n", *suite)
+		measure(curPath)
 	}
 
 	base, err := benchdiff.FlattenFile(*baseline)
@@ -56,7 +62,7 @@ func benchdiffCmd(args []string) {
 		os.Exit(1)
 	}
 	if !rep.OK() {
-		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %d metric(s) regressed past +%.0f%% (or nothing compared)\n",
+		fmt.Fprintf(os.Stderr, "benchdiff: FAIL — %d metric(s) regressed past +%.0f%% (or no comparable/new metrics at all)\n",
 			rep.Regressed, *threshold*100)
 		os.Exit(1)
 	}

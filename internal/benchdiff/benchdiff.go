@@ -1,16 +1,21 @@
 // Package benchdiff is the perf-trajectory harness: it flattens the
 // repository's committed benchmark reports (BENCH_extend.json,
-// BENCH_parallel.json) and a freshly measured report into comparable
-// metric maps, computes per-kernel deltas, and renders a verdict table.
-// CI runs it after the bench suites: a fresh measurement that regresses
-// past the threshold fails the build, so the performance trajectory of
-// the memory-aware kernels is gated the same way correctness is.
+// BENCH_parallel.json, BENCH_ntt.json) and a freshly measured report
+// into comparable metric maps, computes per-kernel deltas, and renders a
+// verdict table. CI runs it after the bench suites: a fresh measurement
+// that regresses past the threshold fails the build, so the performance
+// trajectory of the memory-aware kernels is gated the same way
+// correctness is.
 //
 // The package is deliberately schema-tolerant: it decodes only the
 // fields it compares and ignores everything else (older baselines
 // without newer metadata parse fine), and metrics present on only one
-// side are reported but never gate — adding a kernel to the suite must
-// not fail the first build that measures it.
+// side are informational, never a gate failure — a metric that exists
+// only in the fresh run ("new", e.g. the first build that measures a
+// just-added suite) and a metric that exists only in the baseline
+// ("gone") are both reported and counted but cannot regress. Only the
+// combination of zero comparable metrics AND zero new metrics fails:
+// that means the comparison was vacuous, not informational.
 package benchdiff
 
 import (
@@ -34,6 +39,17 @@ type extendReport struct {
 	TableKeyNs float64 `json:"table_key_ns"`
 }
 
+// nttReport mirrors the simfhe bench ntt JSON (subset). It shares the
+// top-level "kernels" key with the extend schema but its entries carry
+// ns_fused rather than ns_lazy, so each decode picks up only its own
+// suite's entries.
+type nttReport struct {
+	Kernels []struct {
+		Name    string  `json:"name"`
+		NsFused float64 `json:"ns_fused"`
+	} `json:"kernels"`
+}
+
 // parallelReport mirrors the simfhe bench parallel JSON (subset).
 type parallelReport struct {
 	Workloads []struct {
@@ -52,6 +68,7 @@ type parallelReport struct {
 //	pipeline/<name>       extend suite, pipeline ns/op
 //	table_key             extend suite, table cache hit-path ns
 //	workload/<name>/w<N>  parallel suite, ns/op at N workers
+//	ntt/<name>            ntt suite, fused kernel ns/op
 //
 // A report that matches neither schema (no kernels, pipelines or
 // workloads) is an error — comparing empty maps would vacuously pass.
@@ -72,6 +89,15 @@ func Flatten(data []byte) (map[string]float64, error) {
 		}
 		if ext.TableKeyNs > 0 {
 			out["table_key"] = ext.TableKeyNs
+		}
+	}
+
+	var ntt nttReport
+	if err := json.Unmarshal(data, &ntt); err == nil {
+		for _, k := range ntt.Kernels {
+			if k.NsFused > 0 {
+				out["ntt/"+k.Name] = k.NsFused
+			}
 		}
 	}
 
@@ -123,12 +149,14 @@ type Report struct {
 	Deltas    []Delta
 	Regressed int // count of regressed metrics
 	Compared  int // count of metrics present on both sides
+	New       int // metrics only in the fresh run (informational)
+	Gone      int // metrics only in the baseline (informational)
 }
 
 // Compare diffs a fresh measurement against a baseline. threshold is the
 // allowed fractional slowdown: a metric regresses when
 // current > base·(1+threshold). Metrics on only one side are listed with
-// Ratio 0 and never gate.
+// Ratio 0, counted as New or Gone, and never gate.
 func Compare(base, current map[string]float64, threshold float64) Report {
 	rep := Report{Threshold: threshold}
 	names := make(map[string]bool, len(base)+len(current))
@@ -145,22 +173,31 @@ func Compare(base, current map[string]float64, threshold float64) Report {
 	sort.Strings(keys)
 	for _, k := range keys {
 		d := Delta{Name: k, Base: base[k], Current: current[k]}
-		if d.Base > 0 && d.Current > 0 {
+		switch {
+		case d.Base > 0 && d.Current > 0:
 			d.Ratio = d.Current / d.Base
 			d.Regressed = d.Ratio > 1+threshold
 			rep.Compared++
 			if d.Regressed {
 				rep.Regressed++
 			}
+		case d.Current > 0:
+			rep.New++
+		default:
+			rep.Gone++
 		}
 		rep.Deltas = append(rep.Deltas, d)
 	}
 	return rep
 }
 
-// OK reports whether the comparison passes the gate: at least one metric
-// compared, none regressed.
-func (r Report) OK() bool { return r.Compared > 0 && r.Regressed == 0 }
+// OK reports whether the comparison passes the gate: no metric
+// regressed, and the run was not vacuous. A fresh run whose metrics are
+// all new (the first build that measures a just-added suite against an
+// older baseline) passes — one-sided metrics are informational — but a
+// run that produced neither comparable nor new metrics fails: an empty
+// or wrong report must not slip through as a pass.
+func (r Report) OK() bool { return r.Regressed == 0 && (r.Compared > 0 || r.New > 0) }
 
 // Render writes the human-readable delta table. Regressions are flagged
 // with FAIL, improvements beyond the threshold with "faster" (they never
@@ -190,7 +227,7 @@ func (r Report) Render(w io.Writer) error {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "compared %d metrics, %d regressed (threshold +%.0f%%)\n",
-		r.Compared, r.Regressed, r.Threshold*100)
+	_, err := fmt.Fprintf(w, "compared %d metrics, %d regressed, %d new, %d gone (threshold +%.0f%%)\n",
+		r.Compared, r.Regressed, r.New, r.Gone, r.Threshold*100)
 	return err
 }

@@ -17,6 +17,18 @@ const syntheticExtend = `{
   "table_key_ns": 40.0
 }`
 
+const syntheticNTT = `{
+  "gomaxprocs": 1,
+  "logN": 13,
+  "kernels": [
+    {"name": "ntt_n8192", "n": 8192, "ns_fused": 110000, "ns_reference": 140000},
+    {"name": "intt_n8192", "n": 8192, "ns_fused": 150000, "ns_reference": 170000}
+  ],
+  "traffic": [
+    {"name": "ntt_traffic_n8192", "bytes_reference": 1835008, "bytes_blocked": 262144}
+  ]
+}`
+
 const syntheticParallel = `{
   "workloads": [
     {"name": "bootstrap", "results": [
@@ -47,6 +59,25 @@ func TestFlattenExtend(t *testing.T) {
 	}
 }
 
+func TestFlattenNTT(t *testing.T) {
+	m, err := Flatten([]byte(syntheticNTT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"ntt/ntt_n8192":  110000,
+		"ntt/intt_n8192": 150000,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("flattened %d metrics, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("metric %s = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
 func TestFlattenParallel(t *testing.T) {
 	m, err := Flatten([]byte(syntheticParallel))
 	if err != nil {
@@ -60,7 +91,7 @@ func TestFlattenParallel(t *testing.T) {
 func TestFlattenCommittedBaselines(t *testing.T) {
 	// The committed baselines at the repo root must stay parseable: CI
 	// compares fresh runs against them.
-	for _, path := range []string{"../../BENCH_extend.json", "../../BENCH_parallel.json"} {
+	for _, path := range []string{"../../BENCH_extend.json", "../../BENCH_parallel.json", "../../BENCH_ntt.json"} {
 		m, err := FlattenFile(path)
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)
@@ -132,9 +163,48 @@ func TestOneSidedMetricsNeverGate(t *testing.T) {
 	if rep := Compare(base, cur, 0.1); !rep.OK() {
 		t.Fatal("new metric gated the comparison")
 	}
-	cur = map[string]float64{"kernel/b": 1}
-	if rep := Compare(base, cur, 0.1); rep.OK() {
-		t.Fatal("zero overlapping metrics must not vacuously pass")
+	// A fresh run with zero metrics is vacuous — that must still fail,
+	// regardless of what the baseline held.
+	if rep := Compare(base, map[string]float64{}, 0.1); rep.OK() {
+		t.Fatal("an empty fresh report must not vacuously pass")
+	}
+}
+
+// TestNewMetricDoesNotGate is the regression test for the first-build
+// failure mode: a fresh run that carries a whole new suite (e.g.
+// BENCH_ntt.json metrics) against a baseline that predates it must pass,
+// with the new metrics counted as informational — even when no metric
+// overlaps at all.
+func TestNewMetricDoesNotGate(t *testing.T) {
+	base, err := Flatten([]byte(syntheticExtend))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Flatten([]byte(syntheticNTT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Compare(base, cur, 0.1)
+	if !rep.OK() {
+		t.Fatal("fresh run with only new metrics failed the gate")
+	}
+	if rep.Compared != 0 || rep.New != 2 || rep.Regressed != 0 {
+		t.Fatalf("compared=%d new=%d regressed=%d, want 0/2/0", rep.Compared, rep.New, rep.Regressed)
+	}
+}
+
+// TestRemovedMetricDoesNotGate covers the mirror case: a metric present
+// only in the committed baseline (a kernel dropped from the suite) is
+// reported as gone but does not fail the gate.
+func TestRemovedMetricDoesNotGate(t *testing.T) {
+	base := map[string]float64{"kernel/a": 100, "kernel/retired": 500}
+	cur := map[string]float64{"kernel/a": 100}
+	rep := Compare(base, cur, 0.1)
+	if !rep.OK() {
+		t.Fatal("removed metric gated the comparison")
+	}
+	if rep.Gone != 1 || rep.Compared != 1 {
+		t.Fatalf("gone=%d compared=%d, want 1/1", rep.Gone, rep.Compared)
 	}
 }
 

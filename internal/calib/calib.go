@@ -28,6 +28,7 @@ import (
 	"repro/internal/ckks"
 	"repro/internal/memtrace"
 	"repro/internal/prng"
+	"repro/internal/ring"
 	"repro/internal/simfhe"
 )
 
@@ -438,6 +439,25 @@ func Run(cfg Config) (*Report, error) {
 	rescaleEvents := h.trace(func() { _ = h.ev.Rescale(prod) })
 	rep.Rows = append(rep.Rows, h.row("rescale", mctx.RescalePoly(cfg.Limbs).Times(2), rescaleEvents, false,
 		"both ciphertext halves rescaled (model RescalePoly ×2)"))
+
+	// NTT round trip: iNTT + NTT over one ciphertext polynomial, traced
+	// at limb granularity and gated. The model charges (N/2)·log N
+	// butterflies per limb and one read+write sweep of the limb per DRAM
+	// pass; the pass count comes from the kernel's own schedule
+	// (ring.NTTPasses: 1 single-phase, 2 blocked), so the cache-blocked
+	// kernel cannot silently change its traffic contract without this row
+	// catching it.
+	nttPasses := ring.NTTPasses(1 << cfg.LogN)
+	nttPoly := h.ctA.C0.CopyNew()
+	rQ := h.params.RingQ()
+	nttEvents := h.trace(func() {
+		rQ.INTTPoly(nttPoly)
+		rQ.NTTPoly(nttPoly)
+	})
+	rep.Rows = append(rep.Rows, h.row("ntt_roundtrip",
+		mctx.NTTPoly(cfg.Limbs, nttPasses).Times(2), nttEvents, false,
+		fmt.Sprintf("iNTT+NTT on one poly, %d limbs, %d DRAM pass(es) per transform (ring.NTTPasses)",
+			cfg.Limbs, nttPasses)))
 
 	rotEvents := h.trace(func() { _ = h.ev.Rotate(h.ctA, 1) })
 	rep.Rows = append(rep.Rows, h.row("rotate", mctx.Rotate(cfg.Limbs), rotEvents, true, ""))

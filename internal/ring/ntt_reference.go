@@ -1,0 +1,83 @@
+package ring
+
+import "repro/internal/mathutil"
+
+// This file retains the original single-loop Harvey NTT/INTT kernels as
+// golden oracles for the cache-blocked fused kernels in ntt.go, following
+// the same playbook as rns.ExtendReference: the rewrite must be
+// bit-identical to the retained reference on every modulus, size and
+// worker count, and the tests enforce it. The oracles are unobserved (no
+// recorder counters, no tracer hooks) and must not be used on hot paths.
+
+// NTTReference is the original forward transform: one radix-2
+// Cooley–Tukey stage per pass over the limb, then a separate
+// exact-reduction sweep. Retained verbatim as the golden oracle for
+// SubRing.NTT.
+func (s *SubRing) NTTReference(p []uint64) {
+	n, q := s.N, s.Q
+	twoQ := 2 * q
+	t := n
+	for m := 1; m < n; m <<= 1 {
+		t >>= 1
+		for i := 0; i < m; i++ {
+			w := s.twiddle[m+i]
+			ws := s.twiddleShoup[m+i]
+			j1 := 2 * i * t
+			for j := j1; j < j1+t; j++ {
+				u := p[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := lazyMulShoup(p[j+t], w, ws, q) // < 2q
+				p[j] = u + v                        // < 4q
+				p[j+t] = u + twoQ - v               // < 4q
+			}
+		}
+	}
+	for j := range p {
+		v := p[j]
+		if v >= twoQ {
+			v -= twoQ
+		}
+		if v >= q {
+			v -= q
+		}
+		p[j] = v
+	}
+}
+
+// INTTReference is the original inverse transform: one radix-2
+// Gentleman–Sande stage per pass, then a separate N^{-1} exact-reduction
+// sweep. Retained verbatim as the golden oracle for SubRing.INTT.
+func (s *SubRing) INTTReference(p []uint64) {
+	n, q := s.N, s.Q
+	twoQ := 2 * q
+	t := 1
+	for m := n; m > 1; m >>= 1 {
+		h := m >> 1
+		j1 := 0
+		for i := 0; i < h; i++ {
+			w := s.invTwiddle[h+i]
+			ws := s.invTwiddleShoup[h+i]
+			for j := j1; j < j1+t; j++ {
+				u := p[j]
+				v := p[j+t]
+				sum := u + v // < 8q: fold to < 4q before storing
+				if sum >= 2*twoQ {
+					sum -= 2 * twoQ
+				}
+				if sum >= twoQ {
+					sum -= twoQ
+				}
+				p[j] = sum                                  // < 2q
+				p[j+t] = lazyMulShoup(u+2*twoQ-v, w, ws, q) // input < 8q < 2^62
+			}
+			j1 += t << 1
+		}
+		t <<= 1
+	}
+	for j := range p {
+		v := mathutil.MulModShoup(lazyReduce(p[j], q), s.nInv, s.nInvShoup, q)
+		p[j] = v
+	}
+}

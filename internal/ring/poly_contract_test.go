@@ -1,6 +1,9 @@
 package ring
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 // TestOpsPreserveNTTFlag round-trips the representation flag through every
 // limb-wise op: each must stamp the output with the input's representation,
@@ -38,6 +41,60 @@ func TestOpsPreserveNTTFlag(t *testing.T) {
 				t.Errorf("%s with IsNTT=%v produced output flagged %v", op.name, ntt, out.IsNTT)
 			}
 		}
+	}
+}
+
+// TestAutomorphismAndNTTPathsStampFlag extends the flag contract to the
+// ops the generic both-forms table above cannot express: the
+// automorphisms each *require* one input form and must stamp that form
+// on the output over any stale destination flag, and the (parallel)
+// NTT/INTT drivers must flip the flag at every worker count — the
+// parallel path stamps once in the driver, not per limb-worker, and a
+// missing stamp there would poison every downstream form check.
+func TestAutomorphismAndNTTPathsStampFlag(t *testing.T) {
+	r := testRing(t, 16, 3)
+	src := fixedSource()
+	a := r.NewPoly()
+	r.SampleUniform(src, a)
+	k := r.GaloisElement(1)
+
+	a.IsNTT = false
+	out := r.NewPoly()
+	out.IsNTT = true // stale flag the op must overwrite
+	r.AutomorphismCoeffs(a, k, out)
+	if out.IsNTT {
+		t.Error("AutomorphismCoeffs output flagged NTT")
+	}
+
+	a.IsNTT = true
+	out = r.NewPoly()
+	out.IsNTT = false // stale
+	r.AutomorphismNTT(a, k, out)
+	if !out.IsNTT {
+		t.Error("AutomorphismNTT output not flagged NTT")
+	}
+
+	for _, w := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		p := a.CopyNew()
+		p.IsNTT = false
+		r.NTTPolyParallel(p, w)
+		if !p.IsNTT {
+			t.Errorf("NTTPolyParallel(workers=%d) left IsNTT=false", w)
+		}
+		r.INTTPolyParallel(p, w)
+		if p.IsNTT {
+			t.Errorf("INTTPolyParallel(workers=%d) left IsNTT=true", w)
+		}
+	}
+	p := a.CopyNew()
+	p.IsNTT = false
+	r.NTTPoly(p)
+	if !p.IsNTT {
+		t.Error("NTTPoly left IsNTT=false")
+	}
+	r.INTTPoly(p)
+	if p.IsNTT {
+		t.Error("INTTPoly left IsNTT=true")
 	}
 }
 
