@@ -73,7 +73,7 @@ func parseWorkerList(s string) ([]int, error) {
 func benchCmd(args []string) {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	workersFlag := fs.String("workers", "", "comma-separated worker counts to sweep (default 1,2,NumCPU)")
-	suite := fs.String("suite", "parallel", "benchmark suite: parallel (worker sweep), extend (basis-extension kernels), ntt (fused NTT kernels + traffic replay)")
+	suite := fs.String("suite", "parallel", "benchmark suite: parallel (worker sweep), extend (basis-extension kernels), ntt (fused NTT kernels + traffic replay), keys (key-vault budgets on bootstrap)")
 	out := fs.String("out", "", "output JSON file (- for stdout; default BENCH_<suite>.json)")
 	fs.Parse(args)
 	switch *suite {
@@ -93,8 +93,14 @@ func benchCmd(args []string) {
 		}
 		benchNTTSuite(*out)
 		return
+	case "keys":
+		if *out == "" {
+			*out = "BENCH_keys.json"
+		}
+		benchKeysSuite(*out)
+		return
 	default:
-		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (want parallel, extend or ntt)\n", *suite)
+		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (want parallel, extend, ntt or keys)\n", *suite)
 		os.Exit(2)
 	}
 	counts, err := parseWorkerList(*workersFlag)

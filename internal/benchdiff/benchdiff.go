@@ -50,6 +50,15 @@ type nttReport struct {
 	} `json:"kernels"`
 }
 
+// keysReport mirrors the simfhe bench keys JSON (subset): one ns/op
+// measurement per key-vault budget point.
+type keysReport struct {
+	Points []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"points"`
+}
+
 // parallelReport mirrors the simfhe bench parallel JSON (subset).
 type parallelReport struct {
 	Workloads []struct {
@@ -69,6 +78,7 @@ type parallelReport struct {
 //	table_key             extend suite, table cache hit-path ns
 //	workload/<name>/w<N>  parallel suite, ns/op at N workers
 //	ntt/<name>            ntt suite, fused kernel ns/op
+//	keys/<name>           keys suite, ns/op at one vault budget point
 //
 // A report that matches neither schema (no kernels, pipelines or
 // workloads) is an error — comparing empty maps would vacuously pass.
@@ -97,6 +107,15 @@ func Flatten(data []byte) (map[string]float64, error) {
 		for _, k := range ntt.Kernels {
 			if k.NsFused > 0 {
 				out["ntt/"+k.Name] = k.NsFused
+			}
+		}
+	}
+
+	var keys keysReport
+	if err := json.Unmarshal(data, &keys); err == nil {
+		for _, p := range keys.Points {
+			if p.NsPerOp > 0 {
+				out["keys/"+p.Name] = p.NsPerOp
 			}
 		}
 	}

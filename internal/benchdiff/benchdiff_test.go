@@ -29,6 +29,16 @@ const syntheticNTT = `{
   ]
 }`
 
+const syntheticKeys = `{
+  "logN": 10,
+  "points": [
+    {"name": "baseline_expanded", "budget_bytes": -1, "ns_per_op": 300000000},
+    {"name": "vault_fitting", "budget_bytes": 68812800, "ns_per_op": 310000000},
+    {"name": "vault_constrained", "budget_bytes": 17203200, "ns_per_op": 390000000}
+  ],
+  "gates": {"pass": true}
+}`
+
 const syntheticParallel = `{
   "workloads": [
     {"name": "bootstrap", "results": [
@@ -88,10 +98,30 @@ func TestFlattenParallel(t *testing.T) {
 	}
 }
 
+func TestFlattenKeys(t *testing.T) {
+	m, err := Flatten([]byte(syntheticKeys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"keys/baseline_expanded": 300000000,
+		"keys/vault_fitting":     310000000,
+		"keys/vault_constrained": 390000000,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("flattened %d metrics, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("metric %s = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
 func TestFlattenCommittedBaselines(t *testing.T) {
 	// The committed baselines at the repo root must stay parseable: CI
 	// compares fresh runs against them.
-	for _, path := range []string{"../../BENCH_extend.json", "../../BENCH_parallel.json", "../../BENCH_ntt.json"} {
+	for _, path := range []string{"../../BENCH_extend.json", "../../BENCH_parallel.json", "../../BENCH_ntt.json", "../../BENCH_keys.json"} {
 		m, err := FlattenFile(path)
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)

@@ -94,13 +94,24 @@ func NewBootstrapper(params *ckks.Parameters, bparams Parameters, sk *ckks.Secre
 	stcFold := q0 / (2 * math.Pi * delta)
 	stc := buildDFT(enc, params, bparams.StCIter, stcLevel, false, stcFold, bparams.N1, bparams.HoistedModDown)
 
-	// Keys: relinearization + conjugation + all DFT rotations.
+	// Keys: relinearization + conjugation + all DFT rotations. With
+	// compressKeys the whole set is dropped to seed-only form — dozens of
+	// Galois keys keep only their b halves plus 32-byte seeds, and the
+	// evaluator's key vault rematerializes the uniform halves on demand
+	// within the SetKeyBudget bound, so bootstrap's key working set is a
+	// knob instead of a fixed resident-everything cost.
 	kg := ckks.NewKeyGenerator(params, src)
 	rlk := kg.GenRelinearizationKey(sk, compressKeys)
 	steps := append(cts.rotationSteps(), stc.rotationSteps()...)
 	gks := kg.GenRotationKeys(steps, sk, compressKeys)
 	cj := kg.GenConjugationKey(sk, compressKeys)
 	gks[cj.GaloisEl] = cj
+	if compressKeys {
+		rlk.DropExpanded()
+		for _, gk := range gks {
+			gk.DropExpanded()
+		}
+	}
 
 	ev := ckks.NewEvaluator(params, &ckks.EvaluationKeySet{Rlk: rlk, Galois: gks})
 
@@ -149,6 +160,14 @@ func (b *Bootstrapper) SetTracer(t *memtrace.Tracer) { b.ev.SetTracer(t) }
 // (n ≤ 0 selects GOMAXPROCS); the refreshed ciphertexts are bit-identical
 // for every worker count.
 func (b *Bootstrapper) SetWorkers(n int) { b.ev.SetWorkers(n) }
+
+// SetKeyBudget bounds the bytes of demand-materialized switching-key
+// material the underlying evaluator keeps resident (only meaningful for
+// a bootstrapper built with compressKeys=true; see
+// ckks.Evaluator.SetKeyBudget). The refreshed ciphertexts are
+// bit-identical for every budget — the knob trades expansion compute for
+// resident key memory only.
+func (b *Bootstrapper) SetKeyBudget(bytes int64) { b.ev.SetKeyBudget(bytes) }
 
 // modRaise reinterprets a level-0 ciphertext in the full modulus chain:
 // each coefficient v ∈ [0, q_0) is lifted centered to every limb. The

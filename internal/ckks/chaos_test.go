@@ -146,6 +146,61 @@ func TestChaosTopLimbFlipThenDropHarmless(t *testing.T) {
 	}
 }
 
+// TestChaosVaultDigitBitFlip injects a bit flip into a switching-key
+// digit *as the key vault materializes it*. This fault class is nastier
+// than the in-place digit corruption above: the vault caches the
+// corrupted expansion, so every later hit silently serves the same bad
+// key material without the fault firing again — persistent SRAM
+// corruption. The test asserts (1) the corruption is detected by the
+// decrypt-compare precision probe (key corruption is invisible to
+// ciphertext checksums and structural checks), (2) the corruption indeed
+// persists across ops through the cache, and (3) FlushKeyVault is a
+// sufficient recovery action: rematerialization from the seed restores
+// bit-identical clean behavior.
+func TestChaosVaultDigitBitFlip(t *testing.T) {
+	tc := newTestContext(t)
+	gks := tc.kg.GenGaloisKeys([]int{1}, tc.sk)
+	fi := faultinject.New()
+	ev := NewEvaluator(tc.params, &EvaluationKeySet{Galois: gks}, WithFaultInjector(fi))
+
+	msg := randomValues(tc.params.Slots(), 1)
+	ct := tc.encSk.Encrypt(tc.enc.Encode(msg))
+	clean := ev.Rotate(ct, 1)
+	ev.FlushKeyVault() // drop the clean expansions so the fault can land
+
+	fi.Arm(faultinject.Fault{Site: "ckks.keyvault.digitA", Kind: faultinject.KindBitFlip, Limb: 0, Coeff: 7, Bit: 33})
+	bad := ev.Rotate(ct, 1)
+	if len(fi.Events()) != 1 {
+		t.Fatalf("fault did not fire exactly once: %v", fi.Events())
+	}
+	// Detection: the decrypt-compare precision probe (the same check
+	// bootstrap's ArmPrecisionGuard runs). A single flipped key bit
+	// scrambles the key-switch completely.
+	cleanVals := tc.enc.Decode(tc.dec.DecryptToPlaintext(clean))
+	badVals := tc.enc.Decode(tc.dec.DecryptToPlaintext(bad))
+	if err := maxErr(cleanVals, badVals); err < 1 {
+		t.Fatalf("corrupted vault digit decrypted within %.3g of clean — silent corruption", err)
+	}
+
+	// Persistence: the injector is spent, but the cached corruption keeps
+	// serving — the next rotation is still wrong without any new fault.
+	again := ev.Rotate(ct, 1)
+	if len(fi.Events()) != 1 {
+		t.Fatalf("fault fired again: %v", fi.Events())
+	}
+	if !again.C0.Equal(bad.C0) || !again.C1.Equal(bad.C1) {
+		t.Fatal("cached corruption did not persist (vault re-expanded unexpectedly)")
+	}
+
+	// Recovery: flush the vault; rematerialization from the seed is
+	// bit-identical to the pre-fault run.
+	ev.FlushKeyVault()
+	recovered := ev.Rotate(ct, 1)
+	if !recovered.C0.Equal(clean.C0) || !recovered.C1.Equal(clean.C1) {
+		t.Fatal("FlushKeyVault did not restore clean key material")
+	}
+}
+
 // TestChaosBitFlipWithoutIntegrityIsTheGap documents why the checksums
 // exist: with integrity off, a payload bit flip is structurally
 // invisible and sails through validation — the suite records this as

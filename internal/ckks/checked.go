@@ -19,8 +19,14 @@ import (
 
 // SetFaultInjector attaches a chaos-testing fault injector (nil
 // detaches it). See internal/faultinject; production evaluators leave
-// this nil and pay one pointer comparison per hook site.
-func (ev *Evaluator) SetFaultInjector(fi *faultinject.Injector) { ev.fi = fi }
+// this nil and pay one pointer comparison per hook site. The injector
+// also reaches the key vault's materialization site
+// ("ckks.keyvault.digitA"), where a fault corrupts the *cached* digit —
+// served to every later hit until the vault is flushed.
+func (ev *Evaluator) SetFaultInjector(fi *faultinject.Injector) {
+	ev.fi = fi
+	ev.vault.fi = fi
+}
 
 // FaultInjector returns the attached injector, which may be nil.
 func (ev *Evaluator) FaultInjector() *faultinject.Injector { return ev.fi }
@@ -40,7 +46,7 @@ func WithIntegrity() EvaluatorOption {
 
 // WithFaultInjector is the construction-time form of SetFaultInjector.
 func WithFaultInjector(fi *faultinject.Injector) EvaluatorOption {
-	return func(ev *Evaluator) { ev.fi = fi }
+	return func(ev *Evaluator) { ev.SetFaultInjector(fi) }
 }
 
 // finish runs the post-op hooks at a named site: seal the result when

@@ -53,6 +53,11 @@ type Evaluator struct {
 	// integrity, when true, makes the checked (*E) methods Seal every
 	// ciphertext they return, arming the checksum comparison in Validate.
 	integrity bool
+
+	// vault is the bounded cache of demand-materialized uniform key
+	// halves for seed-compressed switching keys (see keyvault.go). Always
+	// non-nil; unlimited budget by default (WithKeyBudget/SetKeyBudget).
+	vault *keyVault
 }
 
 // EvaluatorOption configures an Evaluator at construction time.
@@ -63,6 +68,12 @@ func WithWorkers(n int) EvaluatorOption {
 	return func(ev *Evaluator) { ev.SetWorkers(n) }
 }
 
+// WithKeyBudget bounds the bytes of demand-materialized switching-key
+// material the evaluator keeps resident (see SetKeyBudget).
+func WithKeyBudget(bytes int64) EvaluatorOption {
+	return func(ev *Evaluator) { ev.SetKeyBudget(bytes) }
+}
+
 // NewEvaluator returns an evaluator with the given keys. The key set (or
 // individual keys in it) may be nil if the corresponding operations are
 // never used. By default the evaluator is serial; pass WithWorkers to
@@ -71,7 +82,7 @@ func NewEvaluator(params *Parameters, keys *EvaluationKeySet, opts ...EvaluatorO
 	if keys == nil {
 		keys = &EvaluationKeySet{}
 	}
-	ev := &Evaluator{params: params, keys: keys, workers: 1}
+	ev := &Evaluator{params: params, keys: keys, workers: 1, vault: newKeyVault(params)}
 	for _, opt := range opts {
 		opt(ev)
 	}
@@ -80,6 +91,31 @@ func NewEvaluator(params *Parameters, keys *EvaluationKeySet, opts ...EvaluatorO
 
 // Params returns the evaluator's parameter set.
 func (ev *Evaluator) Params() *Parameters { return ev.params }
+
+// Keys returns the evaluator's key set.
+func (ev *Evaluator) Keys() *EvaluationKeySet { return ev.keys }
+
+// SetKeyBudget bounds the bytes of expanded uniform key halves the
+// evaluator's key vault keeps resident for seed-compressed switching
+// keys; least-recently-used digits are evicted (and later rematerialized
+// from their seeds on demand) once the bound is exceeded. bytes <= 0
+// removes the bound. Any budget — even one smaller than a single digit —
+// preserves correctness and progress; it trades expansion compute for
+// resident key memory. Takes effect immediately: over-budget unpinned
+// digits are evicted before this returns.
+func (ev *Evaluator) SetKeyBudget(bytes int64) { ev.vault.setBudget(bytes) }
+
+// KeyBudget returns the current vault byte budget (<= 0 = unlimited).
+func (ev *Evaluator) KeyBudget() int64 { return ev.vault.budgetBytes() }
+
+// KeyVaultStats snapshots the key vault's hit/miss/eviction counters and
+// resident-byte occupancy.
+func (ev *Evaluator) KeyVaultStats() KeyVaultStats { return ev.vault.stats() }
+
+// FlushKeyVault drops every unpinned materialized digit, forcing
+// rematerialization from seeds on next use — the recovery action after
+// suspected corruption of cached key material.
+func (ev *Evaluator) FlushKeyVault() { ev.vault.flush() }
 
 // SetWorkers sets the parallelism budget for basis conversions, key-switch
 // inner products and hoisted-rotation fan-outs. n ≤ 0 selects GOMAXPROCS.
@@ -126,7 +162,9 @@ func (ev *Evaluator) SetRecorder(r *obs.Recorder) {
 	ev.params.RingQ().SetRecorder(r)
 	ev.params.RingP().SetRecorder(r)
 	ring.SetTaskRecorder(r)
+	ev.vault.rec = r
 	r.SetGauge("ckks.workers", float64(ev.workers))
+	r.SetGauge("ckks.keyvault.budget_bytes", float64(ev.vault.budgetBytes()))
 }
 
 // Recorder returns the attached recorder, which may be nil.
@@ -141,6 +179,7 @@ func (ev *Evaluator) SetTracer(t *memtrace.Tracer) {
 	ev.params.Converter().SetTracer(t)
 	ev.params.RingQ().SetTracer(t)
 	ev.params.RingP().SetTracer(t)
+	ev.vault.tr = t
 }
 
 // Tracer returns the attached memory tracer, which may be nil.
@@ -346,27 +385,42 @@ func (ev *Evaluator) DropLevel(ct *Ciphertext, level int) *Ciphertext {
 	return out
 }
 
-// digit returns digit j of the switching key, expanding (and caching) the
-// pseudorandom half when the key is compressed. The memoizing write is not
-// goroutine-safe: parallel paths must call expandDigits first.
+// digit returns digit j of the switching key. Keys whose uniform half is
+// materialized in place (uncompressed keys, or compressed keys after
+// ExpandAll) are returned directly; seed-only digits are fetched from the
+// evaluator's key vault, which expands them on demand within the key
+// budget. Safe from any goroutine: the vault replaces the old memoizing
+// write into the shared key (which raced under the limb-parallel paths)
+// with a single-flight, lock-guarded cache that never mutates the key.
 func (ev *Evaluator) digit(swk *SwitchingKey, j int) KSKDigit {
 	d := swk.Digits[j]
 	if d.A.Q == nil {
-		if !swk.Compressed() {
-			panic("ckks: switching key digit missing (got=no A half or seed, want=expandable digit)")
-		}
-		d.A = expandKSKRandom(ev.params, swk.Seeds[j])
-		swk.Digits[j].A = d.A // memoize
+		d.A = ev.vault.acquire(swk, j, false)
 	}
 	return d
 }
 
-// expandDigits forces the expansion of the first beta digits of a
-// compressed switching key on the calling goroutine, so that concurrent
-// readers afterwards see only immutable key material.
-func (ev *Evaluator) expandDigits(swk *SwitchingKey, beta int) {
+// pinDigits pins the first beta digits of a switching key in the vault
+// for the duration of a fan-out (hoisted rotations, linear transforms):
+// every key of the fan-out is materialized once up front and protected
+// from eviction until the matching unpinDigits, so hoisting never
+// thrashes a tight budget by evicting a key it is about to reuse (ARK's
+// inter-operation key reuse). No-op for digits materialized in the key
+// itself. Must be paired with unpinDigits on every return path.
+func (ev *Evaluator) pinDigits(swk *SwitchingKey, beta int) {
 	for j := 0; j < beta; j++ {
-		ev.digit(swk, j)
+		if swk.Digits[j].A.Q == nil {
+			ev.vault.acquire(swk, j, true)
+		}
+	}
+}
+
+// unpinDigits releases the pins taken by pinDigits.
+func (ev *Evaluator) unpinDigits(swk *SwitchingKey, beta int) {
+	for j := 0; j < beta; j++ {
+		if swk.Digits[j].A.Q == nil {
+			ev.vault.unpin(swk, j)
+		}
 	}
 }
 
@@ -426,8 +480,9 @@ func (ev *Evaluator) kskInnerProduct(level int, digits []rns.PolyQP, swk *Switch
 	n := rQ.N
 	nQ := level + 1
 	nP := len(rP.Moduli)
-	// Resolve (and, for compressed keys, expand) all digits serially before
-	// fanning out: ev.digit mutates the key on first use.
+	// Resolve (and, for compressed keys, vault-materialize) all digits
+	// once before fanning out, so the limb loop below pays no per-limb
+	// vault lookups. The resolve itself is goroutine-safe.
 	ds := make([]KSKDigit, len(digits))
 	for j := range digits {
 		ds[j] = ev.digit(swk, j)
@@ -626,8 +681,8 @@ func (ev *Evaluator) automorphismPolyQP(level int, a rns.PolyQP, g uint64) rns.P
 // rotateFromDigits applies one hoisted rotation step given the shared
 // raised digits of c1: rotate the digits, run the key-switch inner product
 // and ModDown, and recombine with the rotated c0. All scratch is pooled.
-// Callers fanning steps out in parallel must pre-expand the Galois key's
-// digits (expandDigits) first.
+// Callers fanning steps out in parallel should pin the Galois keys of the
+// fan-out (pinDigits) first so a tight key budget cannot thrash.
 func (ev *Evaluator) rotateFromDigits(level int, ct *Ciphertext, digits []rns.PolyQP, g uint64, gk *GaloisKey, workers int) *Ciphertext {
 	p := ev.params
 	rQ := p.RingQ().AtLevel(level)
@@ -684,9 +739,18 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 		}
 		ev.rec.Add("ckks.rotate", 1)
 		gk := ev.galoisKey(g)
-		ev.expandDigits(&gk.SwitchingKey, len(digits))
+		// Pin every key of the fan-out for the duration of the call: all
+		// steps reuse their keys against the shared decomposition, and a
+		// budget smaller than the fan-out must not evict a key between its
+		// materialization and its use.
+		ev.pinDigits(&gk.SwitchingKey, len(digits))
 		jobs = append(jobs, stepJob{k: k, g: g, gk: gk})
 	}
+	defer func() {
+		for _, j := range jobs {
+			ev.unpinDigits(&j.gk.SwitchingKey, len(digits))
+		}
+	}()
 
 	outer, inner := splitWorkers(ev.workers, len(jobs))
 	results := make([]*Ciphertext, len(jobs))

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/fherr"
+	"repro/internal/prng"
 )
 
 // fuzzSeedCiphertext serializes a genuine ciphertext for the seed corpus.
@@ -189,7 +190,10 @@ func FuzzEvaluatorOps(f *testing.F) {
 }
 
 // FuzzReadSwitchingKey checks that arbitrary switching-key streams never
-// panic and accepted ones re-serialize to the bytes consumed.
+// panic and accepted ones re-serialize to the bytes consumed. Compressed
+// streams additionally must never materialize A halves on read: decoding
+// a seed-compressed key is a header-and-seed parse, not a key expansion —
+// the vault owns materialization.
 func FuzzReadSwitchingKey(f *testing.F) {
 	tc := newTestContext(f)
 	for _, compressed := range []bool{false, true} {
@@ -201,6 +205,26 @@ func FuzzReadSwitchingKey(f *testing.F) {
 		f.Add(buf.Bytes())
 		f.Add(buf.Bytes()[:buf.Len()/3])
 	}
+	// Seed-only Galois keys, the form GenGaloisKeys emits and the vault
+	// consumes: exercises the compressed wire path with a different digit
+	// structure than the rlk above.
+	for _, gk := range tc.kg.GenGaloisKeys([]int{1, 3}, tc.sk) {
+		var buf bytes.Buffer
+		if _, err := gk.SwitchingKey.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// Flip the compression flag: the payload no longer matches the
+		// header's framing, so the reader must reject (or re-frame) it
+		// without panicking.
+		flipped := bytes.Clone(buf.Bytes())
+		flipped[1] ^= 1
+		f.Add(flipped)
+		// Truncate inside the first digit's seed bytes.
+		if buf.Len() > prng.SeedSize/2 {
+			f.Add(buf.Bytes()[:buf.Len()-prng.SeedSize/2])
+		}
+	}
 	f.Add([]byte{1, 0, 0xff, 0xff, 0, 0, 0, 0}) // implausible digit count
 	f.Add([]byte{1, 1, 1, 0, 0, 0, 0, 0})       // compressed, truncated
 
@@ -211,6 +235,13 @@ func FuzzReadSwitchingKey(f *testing.F) {
 		}
 		if n > int64(len(data)) {
 			t.Fatalf("ReadSwitchingKey claims %d bytes from a %d-byte input", n, len(data))
+		}
+		if k.Compressed() {
+			for j := range k.Digits {
+				if k.Digits[j].A.Q != nil {
+					t.Fatalf("compressed read materialized digit %d's A half", j)
+				}
+			}
 		}
 		var out bytes.Buffer
 		if _, err := k.WriteTo(&out); err != nil {

@@ -253,20 +253,57 @@ func (kg *KeyGenerator) GenConjugationKey(sk *SecretKey, compress bool) *GaloisK
 	return kg.GenGaloisKey(kg.params.RingQ().GaloisElementConjugate(), sk, compress)
 }
 
-// KeySizeBytes returns the in-memory (or on-wire) size of a switching key,
-// accounting for compression: a compressed key ships one seed instead of
-// each digit's uniform polynomial, halving the size (§3.2).
+// GenGaloisKeys generates the Galois key set for a rotation fan-out
+// (lintrans/innersum/bootstrap rotation sets) seed-compressed by default,
+// with the uniform halves dropped to seed-only form: generation needs
+// each a_j to compute b_j, but retaining them would defeat the point of
+// compression, so the expanded halves are released and the evaluator's
+// key vault rematerializes digits on demand within its byte budget.
+func (kg *KeyGenerator) GenGaloisKeys(steps []int, sk *SecretKey) map[uint64]*GaloisKey {
+	out := kg.GenRotationKeys(steps, sk, true)
+	for _, gk := range out {
+		gk.DropExpanded()
+	}
+	return out
+}
+
+// KeySizeBytes returns the exact on-wire size of a switching key — the
+// byte count SwitchingKey.WriteTo produces, headers included. A
+// compressed key ships one 32-byte seed per digit instead of the digit's
+// uniform polynomial, halving the size (§3.2); whether the expanded
+// halves happen to be materialized in memory right now does not change
+// the answer, because WriteTo never ships them. For the in-memory
+// footprint, see KeyResidentBytes.
 func (p *Parameters) KeySizeBytes(swk *SwitchingKey) int {
-	limbs := (p.MaxLevel() + 1 + p.Alpha()) * p.N() * 8
-	size := 0
+	const swkHeader, polyHeader = 8, 12
+	polyQ := polyHeader + (p.MaxLevel()+1)*p.N()*8
+	polyP := polyHeader + p.Alpha()*p.N()*8
+	size := swkHeader
 	for range swk.Digits {
-		size += limbs // b half
+		size += polyQ + polyP // b half
 		if swk.Compressed() {
 			size += prng.SeedSize
 		} else {
-			size += limbs // a half
+			size += polyQ + polyP // a half
 		}
 	}
+	return size
+}
+
+// KeyResidentBytes returns the key's current in-memory footprint: the
+// b halves (always materialized), each a half only if it is materialized
+// in the key right now, and the seeds. Digits held by an evaluator's key
+// vault are charged to the vault's resident gauge, not to the key.
+func (p *Parameters) KeyResidentBytes(swk *SwitchingKey) int64 {
+	var size int64
+	for j := range swk.Digits {
+		d := &swk.Digits[j]
+		size += polyQPBytes(d.B)
+		if d.A.Q != nil {
+			size += polyQPBytes(d.A)
+		}
+	}
+	size += int64(len(swk.Seeds)) * prng.SeedSize
 	return size
 }
 

@@ -1,0 +1,343 @@
+package ckks
+
+// The key vault is the runtime half of the paper's §3.2 key compression
+// (and ARK's on-demand key generation): seed-compressed switching keys
+// store only the b_j halves plus one 32-byte seed per digit, and the
+// uniform a_j halves are rematerialized from the seed the moment a
+// key-switch touches the digit — then retained in a bounded LRU cache so
+// a bootstrap that walks dozens of Galois keys runs inside a fixed key
+// working set instead of keeping every expanded half resident forever.
+//
+// Concurrency contract: acquisitions are safe from any number of
+// goroutines (the limb- and rotation-parallel paths call straight into
+// the vault), expansion is single-flight per digit (concurrent callers
+// of the same digit block on one expansion instead of duplicating it),
+// and a returned PolyQP stays valid even if the entry is evicted while
+// the caller still computes with it — eviction only drops the vault's
+// reference; the garbage collector keeps the backing arrays alive for
+// everyone who already fetched them. Pinning therefore exists to keep
+// fan-outs (hoisted rotations, linear transforms) from thrashing a tight
+// budget, not for memory safety: a pinned entry is never evicted, and a
+// budget smaller than the pinned set is simply overshot.
+//
+// Progress guarantee: the requested digit is always admitted, even when
+// it alone exceeds the budget — the vault then holds one over-budget
+// entry until the next acquisition evicts it. A tiny budget degrades to
+// expand-per-use; it never deadlocks and never fails.
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/memtrace"
+	"repro/internal/obs"
+	"repro/internal/rns"
+)
+
+// KeyVaultStats is a point-in-time snapshot of the vault counters, the
+// same numbers exported through the obs recorder as
+// ckks.keyvault.{hits,misses,expansions,evictions} and the
+// ckks.keyvault.resident_bytes gauge.
+type KeyVaultStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Expansions    uint64 `json:"expansions"`
+	Evictions     uint64 `json:"evictions"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	PeakResident  int64  `json:"peak_resident_bytes"`
+	BudgetBytes   int64  `json:"budget_bytes"`
+}
+
+// vaultKey identifies one digit of one switching key. Keys are compared
+// by identity: two SwitchingKey values deserialized from the same bytes
+// are distinct cache entries, which is exactly the per-tenant isolation
+// a key server wants.
+type vaultKey struct {
+	swk *SwitchingKey
+	j   int
+}
+
+// vaultEntry is one materialized digit. The zero entry is a placeholder:
+// the inserting goroutine expands outside the lock and closes ready when
+// a is set; a is immutable from then on, so waiters read it without the
+// lock (the channel close orders the write before every waiting read).
+type vaultEntry struct {
+	key   vaultKey
+	a     rns.PolyQP
+	bytes int64
+	pins  int
+	done  bool
+	ready chan struct{}
+	elem  *list.Element // position in the LRU list; nil until done
+}
+
+// keyVault is the bounded demand-materialization cache. One vault per
+// Evaluator; all fields are guarded by mu except the seed expansion
+// itself, which runs unlocked (it touches only immutable key material).
+type keyVault struct {
+	params *Parameters
+
+	mu       sync.Mutex
+	entries  map[vaultKey]*vaultEntry
+	lru      *list.List // front = most recently used; done entries only
+	budget   int64      // bytes; <= 0 means unlimited
+	resident int64
+	peak     int64
+
+	hits       uint64
+	misses     uint64
+	expansions uint64
+	evictions  uint64
+
+	rec *obs.Recorder        // nil-safe; counter/gauge export
+	tr  *memtrace.Tracer     // nil-safe; expansion writes + eviction discards
+	fi  *faultinject.Injector // chaos hook at the materialization site
+}
+
+func newKeyVault(params *Parameters) *keyVault {
+	return &keyVault{
+		params:  params,
+		entries: make(map[vaultKey]*vaultEntry),
+		lru:     list.New(),
+	}
+}
+
+// polyQPBytes is the in-memory footprint of a raised polynomial's
+// coefficient payload.
+func polyQPBytes(p rns.PolyQP) int64 {
+	var n int64
+	for i := range p.Q.Coeffs {
+		n += int64(len(p.Q.Coeffs[i])) * 8
+	}
+	for i := range p.P.Coeffs {
+		n += int64(len(p.P.Coeffs[i])) * 8
+	}
+	return n
+}
+
+// setBudget changes the byte budget (<= 0 unlimited) and immediately
+// evicts down to it. Pinned entries are never evicted, so a budget below
+// the currently pinned set takes full effect only as pins release.
+func (kv *keyVault) setBudget(bytes int64) {
+	kv.mu.Lock()
+	kv.budget = bytes
+	kv.evictLocked(nil)
+	resident := kv.resident
+	kv.mu.Unlock()
+	kv.rec.SetGauge("ckks.keyvault.budget_bytes", float64(bytes))
+	kv.rec.SetGauge("ckks.keyvault.resident_bytes", float64(resident))
+}
+
+func (kv *keyVault) budgetBytes() int64 {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.budget
+}
+
+// stats snapshots the counters.
+func (kv *keyVault) stats() KeyVaultStats {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return KeyVaultStats{
+		Hits:          kv.hits,
+		Misses:        kv.misses,
+		Expansions:    kv.expansions,
+		Evictions:     kv.evictions,
+		ResidentBytes: kv.resident,
+		PeakResident:  kv.peak,
+		BudgetBytes:   kv.budget,
+	}
+}
+
+// contains reports whether the digit is currently materialized in the
+// vault (test hook).
+func (kv *keyVault) contains(swk *SwitchingKey, j int) bool {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	e, ok := kv.entries[vaultKey{swk, j}]
+	return ok && e.done
+}
+
+// flush drops every unpinned entry — the recovery path after suspected
+// key-material corruption (cached expansions are state; chaos tests
+// corrupt them on purpose) and the bulk release when a tenant's keys
+// retire.
+func (kv *keyVault) flush() {
+	kv.mu.Lock()
+	for el := kv.lru.Back(); el != nil; {
+		prev := el.Prev()
+		if e := el.Value.(*vaultEntry); e.pins == 0 {
+			kv.removeLocked(e)
+		}
+		el = prev
+	}
+	resident := kv.resident
+	kv.mu.Unlock()
+	kv.rec.SetGauge("ckks.keyvault.resident_bytes", float64(resident))
+}
+
+// acquire returns the materialized uniform half of digit j, expanding it
+// from the seed if absent. With pin=true the entry's pin count is
+// incremented and the entry is guaranteed resident until the matching
+// unpin — callers must pair every pinned acquire with an unpin.
+func (kv *keyVault) acquire(swk *SwitchingKey, j int, pin bool) rns.PolyQP {
+	if !swk.Compressed() {
+		panic("ckks: switching key digit missing (got=no A half or seed, want=expandable digit)")
+	}
+	k := vaultKey{swk, j}
+	for {
+		kv.mu.Lock()
+		e, ok := kv.entries[k]
+		if !ok {
+			// Miss: insert a placeholder and expand outside the lock.
+			// Placeholders are not in the LRU list, so concurrent
+			// acquisitions can never evict an entry mid-materialization.
+			e = &vaultEntry{key: k, ready: make(chan struct{})}
+			if pin {
+				e.pins = 1
+			}
+			kv.entries[k] = e
+			kv.misses++
+			kv.mu.Unlock()
+			kv.rec.Add("ckks.keyvault.misses", 1)
+			return kv.materialize(e, swk, j)
+		}
+		if e.done {
+			if pin {
+				e.pins++
+			}
+			kv.lru.MoveToFront(e.elem)
+			kv.hits++
+			kv.mu.Unlock()
+			kv.rec.Add("ckks.keyvault.hits", 1)
+			return e.a
+		}
+		// In flight on another goroutine: wait for the single expansion.
+		ready := e.ready
+		kv.mu.Unlock()
+		<-ready
+		if !pin {
+			// e.a is immutable once ready closes, and stays valid even if
+			// the entry was already evicted.
+			kv.mu.Lock()
+			kv.hits++
+			kv.mu.Unlock()
+			kv.rec.Add("ckks.keyvault.hits", 1)
+			return e.a
+		}
+		// Pinning needs the entry resident; if it was evicted between
+		// completion and now (tiny budgets), loop and rematerialize.
+		kv.mu.Lock()
+		if cur, ok := kv.entries[k]; ok && cur == e {
+			e.pins++
+			kv.lru.MoveToFront(e.elem)
+			kv.hits++
+			kv.mu.Unlock()
+			kv.rec.Add("ckks.keyvault.hits", 1)
+			return e.a
+		}
+		kv.mu.Unlock()
+	}
+}
+
+// materialize runs the seed expansion for a freshly inserted placeholder
+// and publishes the result. The expansion's stores are recorded as
+// key-class writes: at cache replay they declare the digit generated on
+// chip rather than streamed from DRAM — the ARK accounting this vault
+// exists to realize.
+func (kv *keyVault) materialize(e *vaultEntry, swk *SwitchingKey, j int) rns.PolyQP {
+	a := expandKSKRandom(kv.params, swk.Seeds[j])
+	if kv.fi != nil {
+		// Chaos hook: corrupt the digit as it is materialized — the cached
+		// copy then serves the corruption to every later hit, the SRAM-
+		// corruption persistence the precision guard must catch.
+		kv.fi.Poly("ckks.keyvault.digitA", a.Q)
+		kv.fi.Poly("ckks.keyvault.digitA", a.P)
+	}
+	if kv.tr != nil {
+		for i := range a.Q.Coeffs {
+			kv.tr.WriteClass(a.Q.Coeffs[i], memtrace.ClassKey)
+		}
+		for i := range a.P.Coeffs {
+			kv.tr.WriteClass(a.P.Coeffs[i], memtrace.ClassKey)
+		}
+	}
+
+	kv.mu.Lock()
+	e.a = a
+	e.bytes = polyQPBytes(a)
+	e.done = true
+	e.elem = kv.lru.PushFront(e)
+	kv.resident += e.bytes
+	if kv.resident > kv.peak {
+		kv.peak = kv.resident
+	}
+	kv.expansions++
+	close(e.ready)
+	// Enforce the budget, but never evict the digit just admitted: the
+	// caller is about to use it, and admitting it even over budget is the
+	// progress guarantee for budgets smaller than one digit.
+	kv.evictLocked(e)
+	resident := kv.resident
+	kv.mu.Unlock()
+
+	kv.rec.Add("ckks.keyvault.expansions", 1)
+	kv.rec.SetGauge("ckks.keyvault.resident_bytes", float64(resident))
+	return a
+}
+
+// unpin releases one pin on digit j, then reconsiders the budget (a
+// deferred eviction may have been waiting for the pin to drop).
+func (kv *keyVault) unpin(swk *SwitchingKey, j int) {
+	kv.mu.Lock()
+	e, ok := kv.entries[vaultKey{swk, j}]
+	if !ok || e.pins == 0 {
+		kv.mu.Unlock()
+		panic("ckks: keyvault unpin without matching pin")
+	}
+	e.pins--
+	kv.evictLocked(nil)
+	resident := kv.resident
+	kv.mu.Unlock()
+	kv.rec.SetGauge("ckks.keyvault.resident_bytes", float64(resident))
+}
+
+// evictLocked drops least-recently-used unpinned entries until the
+// resident set fits the budget. Pinned entries and keep are skipped —
+// eviction of a pinned key is refused, full stop; if only pinned entries
+// remain the vault stays over budget until pins release.
+func (kv *keyVault) evictLocked(keep *vaultEntry) {
+	if kv.budget <= 0 {
+		return
+	}
+	for el := kv.lru.Back(); el != nil && kv.resident > kv.budget; {
+		prev := el.Prev()
+		e := el.Value.(*vaultEntry)
+		if e.pins == 0 && e != keep {
+			kv.removeLocked(e)
+		}
+		el = prev
+	}
+}
+
+// removeLocked drops one materialized entry. The backing arrays stay
+// valid for goroutines that already fetched them (the GC owns their
+// lifetime); the tracer is told the limbs are dead so the cache replay
+// drops the lines without charging a DRAM writeback — regenerated key
+// material never travels to memory, which is the whole point.
+func (kv *keyVault) removeLocked(e *vaultEntry) {
+	delete(kv.entries, e.key)
+	kv.lru.Remove(e.elem)
+	kv.resident -= e.bytes
+	kv.evictions++
+	kv.rec.Add("ckks.keyvault.evictions", 1)
+	if kv.tr != nil {
+		for i := range e.a.Q.Coeffs {
+			kv.tr.Discard(e.a.Q.Coeffs[i])
+		}
+		for i := range e.a.P.Coeffs {
+			kv.tr.Discard(e.a.P.Coeffs[i])
+		}
+	}
+}

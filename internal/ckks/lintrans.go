@@ -224,9 +224,12 @@ func (ev *Evaluator) EvalLinearTransformHoistedModDown(ct *Ciphertext, lt *Linea
 	}
 	sort.Ints(steps)
 
-	// Resolve Galois keys and expand any compressed key material on this
-	// goroutine before fanning out: key lookup panics are only useful here,
-	// and digit expansion mutates the keys.
+	// Resolve Galois keys on this goroutine before fanning out (key
+	// lookup panics are only useful here) and pin every key of the
+	// fan-out in the vault for the duration of the transform: the whole
+	// diagonal sweep reuses its keys against one shared decomposition, so
+	// a tight key budget must not evict mid-sweep (ARK's inter-operation
+	// key reuse).
 	type hoistJob struct {
 		d  int
 		g  uint64
@@ -238,10 +241,17 @@ func (ev *Evaluator) EvalLinearTransformHoistedModDown(ct *Ciphertext, lt *Linea
 		if d != 0 {
 			g := rQ.GaloisElement(d)
 			gk := ev.galoisKey(g)
-			ev.expandDigits(&gk.SwitchingKey, len(digits))
+			ev.pinDigits(&gk.SwitchingKey, len(digits))
 			jobs[i].g, jobs[i].gk = g, gk
 		}
 	}
+	defer func() {
+		for _, job := range jobs {
+			if job.gk != nil {
+				ev.unpinDigits(&job.gk.SwitchingKey, len(digits))
+			}
+		}
+	}()
 
 	// The raised diagonals are plaintext material: tag them so the generic
 	// ring hooks' reads replay as plaintext traffic.

@@ -183,7 +183,10 @@ func ReadSwitchingKey(r io.Reader) (*SwitchingKey, int64, error) {
 }
 
 // ExpandAll eagerly regenerates the uniform halves of a compressed key so
-// later evaluation paths never pay the expansion cost.
+// later evaluation paths never pay the expansion cost — the opposite end
+// of the memory/compute trade from the evaluator's key vault, which
+// materializes digits on demand within a byte budget and leaves the key
+// itself seed-only.
 func (k *SwitchingKey) ExpandAll(params *Parameters) {
 	if !k.Compressed() {
 		return
@@ -192,5 +195,19 @@ func (k *SwitchingKey) ExpandAll(params *Parameters) {
 		if k.Digits[j].A.Q == nil {
 			k.Digits[j].A = expandKSKRandom(params, k.Seeds[j])
 		}
+	}
+}
+
+// DropExpanded releases the materialized uniform halves of a compressed
+// key, returning it to seed-only form (the inverse of ExpandAll). The
+// information is not lost — every a_j regenerates from Seeds[j] — so the
+// key keeps working; the evaluator's vault simply pays expansion on next
+// use. No-op for uncompressed keys, whose a halves are irreplaceable.
+func (k *SwitchingKey) DropExpanded() {
+	if !k.Compressed() {
+		return
+	}
+	for j := range k.Digits {
+		k.Digits[j].A = rns.PolyQP{}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/cmplx"
 	"os"
 
 	"repro/internal/ckks"
@@ -166,6 +167,55 @@ func runChaos() (*chaosReport, error) {
 	if _, rerr := ev.RotateE(a, 2); rerr != nil {
 		c.Detected = false
 		c.Error = fmt.Sprintf("evaluator unusable after recovery: %v", rerr)
+	}
+	record(c)
+
+	// Vault-digit corruption: the fault lands while the key vault
+	// materializes a switching-key digit from its seed, so the corrupted
+	// expansion is cached and every later hit serves it. The wrong result
+	// is validly sealed — key corruption is invisible to ciphertext
+	// checksums and structural checks — so the detection layer of record
+	// is decrypt-compare (the same probe bootstrap's precision guard
+	// runs), and the recovery action is FlushKeyVault: rematerialization
+	// from the seed restores bit-identical clean behavior.
+	gksC := kg.GenGaloisKeys([]int{1}, sk)
+	evV := ckks.NewEvaluator(params, &ckks.EvaluationKeySet{Galois: gksC},
+		ckks.WithWorkers(workerCount), ckks.WithFaultInjector(fi))
+	evV.SetRecorder(recorder)
+	dec := ckks.NewDecryptor(params, sk)
+	fi.Reset()
+	cleanRot := evV.Rotate(a, 1)
+	evV.FlushKeyVault() // drop the clean expansions so the fault can land
+	fi.Arm(faultinject.Fault{Site: "ckks.keyvault.digitA", Kind: faultinject.KindBitFlip, Limb: 0, Coeff: 7, Bit: 33})
+	c = chaosCase{Class: "vault-digit-bit-flip", Site: "ckks.keyvault.digitA"}
+	bad, err := evV.RotateE(a, 1)
+	c.Fired = len(fi.Events())
+	if err != nil {
+		c.Error = err.Error()
+	} else {
+		cleanVals := enc.Decode(dec.DecryptToPlaintext(cleanRot))
+		badVals := enc.Decode(dec.DecryptToPlaintext(bad))
+		var worst float64
+		for i := range cleanVals {
+			if d := cmplx.Abs(cleanVals[i] - badVals[i]); d > worst {
+				worst = d
+			}
+		}
+		// A single flipped key bit scrambles the key-switch completely;
+		// anything close to the clean run means the probe missed it.
+		c.Detected = worst >= 1
+		if !c.Detected {
+			c.Error = fmt.Sprintf("decrypt-compare maxerr %.3g — corruption escaped the probe", worst)
+		}
+	}
+	fi.Reset()
+	evV.FlushKeyVault()
+	if rec2, rerr := evV.RotateE(a, 1); rerr != nil {
+		c.Detected = false
+		c.Error = fmt.Sprintf("evaluator unusable after vault flush: %v", rerr)
+	} else if !rec2.C0.Equal(cleanRot.C0) || !rec2.C1.Equal(cleanRot.C1) {
+		c.Detected = false
+		c.Error = "vault flush did not restore clean key material"
 	}
 	record(c)
 

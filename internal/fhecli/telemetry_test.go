@@ -76,6 +76,12 @@ func TestStatsFlagPrintsSummary(t *testing.T) {
 		"ring.ntt",             // kernel counter
 		"ring.ntt.bytes",       // traffic counter
 		"mem.heap_alloc_bytes", // memory gauge
+		// Key-vault telemetry: eval keys ship compressed, so the mul's
+		// relinearization demand-materializes digits through the vault.
+		"ckks.keyvault.expansions",
+		"ckks.keyvault.misses",
+		"ckks.keyvault.resident_bytes",
+		"ckks.keyvault.budget_bytes",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-stats output missing %q:\n%s", want, out)

@@ -172,6 +172,9 @@ func TestNTTBlockedTrafficMatchesCacheReplay(t *testing.T) {
 // kernel paths: pooled column-block scratch means zero allocations per
 // transform after warm-up, on the serial and the worker-pool paths alike.
 func TestNTTAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are meaningless under the race detector (instrumented allocations, random sync.Pool drops)")
+	}
 	for _, n := range []int{1024, 4 * NTTTile} {
 		r := testRing(t, n, 2)
 		src := fixedSource()

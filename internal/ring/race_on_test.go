@@ -1,0 +1,9 @@
+//go:build race
+
+package ring
+
+// raceEnabled reports whether the race detector is compiled in. Alloc
+// assertions are skipped under it: race instrumentation allocates, and
+// sync.Pool deliberately drops items at random in race mode, so
+// AllocsPerRun cannot pin a zero-alloc contract there.
+const raceEnabled = true
