@@ -52,9 +52,9 @@ type keysVaultStats struct {
 }
 
 type keysPoint struct {
-	Name        string `json:"name"`
-	BudgetBytes int64  `json:"budget_bytes"` // -1 fully materialized, 0 unlimited vault
-	NsPerOp     int64  `json:"ns_per_op"`    // min of 3 warm runs
+	Name        string  `json:"name"`
+	BudgetBytes int64   `json:"budget_bytes"` // -1 fully materialized, 0 unlimited vault
+	NsPerOp     int64   `json:"ns_per_op"`    // min of 3 warm runs
 	OverheadPct float64 `json:"overhead_vs_baseline_pct"`
 	// ResidentKeyBytes is the full key footprint at the end of the
 	// point: b halves and seeds held by the key structs, plus the
@@ -63,9 +63,9 @@ type keysPoint struct {
 	ResidentReductionX float64 `json:"resident_reduction_x"`
 	// Key-class DRAM traffic of one traced bootstrap, replayed through
 	// the infinite cache.
-	KeyReadBytes  uint64 `json:"key_read_bytes"`
-	KeyWriteBytes uint64 `json:"key_write_bytes"`
-	BitIdentical  bool   `json:"bit_identical_to_baseline"`
+	KeyReadBytes  uint64          `json:"key_read_bytes"`
+	KeyWriteBytes uint64          `json:"key_write_bytes"`
+	BitIdentical  bool            `json:"bit_identical_to_baseline"`
 	Vault         *keysVaultStats `json:"vault,omitempty"`
 }
 

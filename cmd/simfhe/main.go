@@ -22,6 +22,10 @@
 //	                         trace the functional evaluator through the cache
 //	                         simulator and compare measured DRAM traffic
 //	                         against the analytic model (calibration report)
+//	simfhe drift [-strict] [-json] [-out=FILE]
+//	                         run a real bootstrap workload with the cost
+//	                         ledger attached; per-op-kind predicted vs
+//	                         measured traffic from the span hierarchy
 //	simfhe ai                Table 4 on a roofline (ridge points, utilization)
 //	simfhe json              every experiment as a machine-readable report
 //	simfhe run <file>        run a schedule DSL file through the model
@@ -146,6 +150,8 @@ func run(cmd string, args []string) {
 		benchdiffCmd(args)
 	case "validate":
 		validateCmd(args)
+	case "drift":
+		driftCmd(args)
 	case "ai":
 		aiRoofline()
 	case "json":
@@ -169,11 +175,12 @@ func run(cmd string, args []string) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: simfhe [-debug-addr ADDR] {table4|fig2|fig3|table5|table6|fig6|boot|cost|run|trace|sweep|bench|benchdiff|validate|ai|json|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: simfhe [-debug-addr ADDR] {table4|fig2|fig3|table5|table6|fig6|boot|cost|run|trace|sweep|bench|benchdiff|validate|drift|ai|json|all} [flags]")
 	fmt.Fprintln(os.Stderr, "  run/boot/trace accept -trace-out FILE (Chrome trace JSON) and -metrics-out FILE (Prometheus text)")
 	fmt.Fprintln(os.Stderr, "  bench [-workers 1,2,4] [-out FILE] measures the functional library across worker counts (JSON)")
 	fmt.Fprintln(os.Stderr, "  benchdiff [-baseline FILE] [-current FILE] [-threshold 0.25] gates fresh bench results against a committed baseline")
 	fmt.Fprintln(os.Stderr, "  validate [-strict] [-out FILE] traces the functional evaluator through the cache simulator and compares measured vs modeled DRAM traffic")
+	fmt.Fprintln(os.Stderr, "  drift [-strict] [-json] [-out FILE] runs a bootstrap workload with the cost ledger attached and reports per-op-kind predicted vs measured traffic")
 }
 
 // refMachine is the paper's 32 MB reference system (8192 modular

@@ -232,7 +232,7 @@ func (b *Bootstrapper) evalMod(ct *ckks.Ciphertext) *ckks.Ciphertext {
 func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 	ev := b.ev
 	rec := ev.Recorder()
-	root := rec.StartSpan("bootstrap.Bootstrap")
+	root := rec.StartOp("bootstrap.Bootstrap")
 	defer root.End()
 	if ct.Level > 0 {
 		ct = ev.DropLevel(ct, 0)
@@ -241,7 +241,7 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 	tr := ev.Tracer()
 	fi := ev.FaultInjector()
 	tr.Mark("bootstrap.ModRaise")
-	sp := rec.StartSpan("bootstrap.ModRaise")
+	sp := rec.StartOp("bootstrap.ModRaise")
 	raised := b.modRaise(ct)
 	sp.End()
 	fi.Poly("bootstrap.ModRaise.c0", raised.C0)
@@ -250,7 +250,7 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 	// CoeffToSlot: slots now hold (t_j + i·t_{j+n})/(2n·…) in bit-reversed
 	// order, with the EvalMod normalization folded in.
 	tr.Mark("bootstrap.CoeffToSlot")
-	sp = rec.StartSpan("bootstrap.CoeffToSlot")
+	sp = rec.StartOp("bootstrap.CoeffToSlot")
 	w := b.cts.apply(ev, raised, b.bparams.HoistedModDown)
 
 	// Conjugate split into the two real coefficient halves.
@@ -263,7 +263,7 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 
 	// Approximate modular reduction on each half.
 	tr.Mark("bootstrap.EvalMod")
-	sp = rec.StartSpan("bootstrap.EvalMod")
+	sp = rec.StartOp("bootstrap.EvalMod")
 	ctReal = b.evalMod(ctReal)
 	ctImag = b.evalMod(ctImag)
 	sp.End()
@@ -272,7 +272,7 @@ func (b *Bootstrapper) Bootstrap(ct *ckks.Ciphertext) *ckks.Ciphertext {
 
 	// Recombine and return to the coefficient domain.
 	tr.Mark("bootstrap.SlotToCoeff")
-	sp = rec.StartSpan("bootstrap.SlotToCoeff")
+	sp = rec.StartOp("bootstrap.SlotToCoeff")
 	recombined := ev.Add(ctReal, ev.MulByI(ctImag))
 	out := b.stc.apply(ev, recombined, b.bparams.HoistedModDown)
 	sp.End()

@@ -48,7 +48,7 @@ func (b *Bootstrapper) ArmPrecisionGuard(sk *ckks.SecretKey, minBits float64) {
 // armed — verifies the refreshed message against the input. On error the
 // returned ciphertext is nil.
 func (b *Bootstrapper) BootstrapE(ct *ckks.Ciphertext) (out *ckks.Ciphertext, err error) {
-	sp := b.ev.Recorder().StartSpan("bootstrap.BootstrapE")
+	sp := b.ev.Recorder().StartOp("bootstrap.BootstrapE")
 	defer sp.End()
 	if err := b.params.Validate(ct); err != nil {
 		return nil, err

@@ -76,7 +76,7 @@ func (ev *Evaluator) finish(site string, out *Ciphertext) {
 // validation/seal overhead) gets its own histogram next to the core
 // op's span — their gap is the cost of safety.
 func (ev *Evaluator) checked(op string, ins []*Ciphertext, core func() *Ciphertext) (out *Ciphertext, err error) {
-	sp := ev.rec.StartSpan("ckks." + op + "E")
+	sp := ev.rec.StartOp("ckks." + op + "E")
 	defer sp.End()
 	for _, ct := range ins {
 		if err := ev.params.Validate(ct); err != nil {
@@ -200,7 +200,7 @@ func (ev *Evaluator) InnerSumE(ct *Ciphertext, n int) (*Ciphertext, error) {
 // RotateHoistedE is the checked form of RotateHoisted. Every returned
 // ciphertext passes through the finish hooks; on error the map is nil.
 func (ev *Evaluator) RotateHoistedE(ct *Ciphertext, steps []int) (out map[int]*Ciphertext, err error) {
-	sp := ev.rec.StartSpan("ckks.RotateHoistedE")
+	sp := ev.rec.StartOp("ckks.RotateHoistedE")
 	defer sp.End()
 	if err := ev.params.Validate(ct); err != nil {
 		return nil, err

@@ -28,13 +28,20 @@ type Evaluator struct {
 	// Results are bit-identical for every worker count.
 	workers int
 
-	// rec, when non-nil, receives a span per primitive ("ckks.Mult",
-	// "ckks.KeySwitch", "ckks.Rescale", …) and the counters "ckks.ntt"
-	// (limb-sized (i)NTT invocations, counted analytically at the
-	// converter call sites), "ckks.keyswitch", "ckks.mult", "ckks.rotate",
-	// "ckks.rescale" and "ckks.limbs". A nil recorder costs one nil check
-	// per call.
+	// rec, when non-nil, receives a hierarchical span per primitive
+	// ("ckks.Mult" owns its "ckks.Rescale"/"ckks.KeySwitch" children,
+	// which own the rns sub-op and ring worker spans) and the counters
+	// "ckks.ntt" (limb-sized (i)NTT invocations, counted analytically at
+	// the converter call sites), "ckks.keyswitch", "ckks.mult",
+	// "ckks.rotate", "ckks.rescale", "ckks.limbs" and "ckks.key.bytes"
+	// (switching-key limb bytes read by inner products). A nil recorder
+	// costs one nil check per call.
 	rec *obs.Recorder
+
+	// model, when non-nil, annotates every op span with the analytic
+	// model's predicted cost at the op's exact (level, fanout) point —
+	// the "pred.*" ledger attributes (see internal/obs/ledger).
+	model obs.CostModel
 
 	// tr, when non-nil, records the limb-granular memory access stream of
 	// every primitive (internal/memtrace): the ring and rns hooks cover
@@ -169,6 +176,60 @@ func (ev *Evaluator) SetRecorder(r *obs.Recorder) {
 
 // Recorder returns the attached recorder, which may be nil.
 func (ev *Evaluator) Recorder() *obs.Recorder { return ev.rec }
+
+// SetCostModel attaches a cost ledger (nil detaches it): with both a
+// recorder and a model attached, every op span carries the model's
+// predicted bytes/ops/NTTs for its exact parameter point, so traces and
+// the drift report can put predicted next to measured per op.
+func (ev *Evaluator) SetCostModel(m obs.CostModel) { ev.model = m }
+
+// CostModel returns the attached cost ledger, which may be nil.
+func (ev *Evaluator) CostModel() obs.CostModel { return ev.model }
+
+// startOp opens the hierarchical span for one evaluator-level op and
+// stamps the cost ledger on it: ciphertext telemetry (level, scale,
+// degree), the model prediction at this (level, fanout) point when a
+// cost model is attached, and the memtrace window start when a tracer is
+// attached (drift replays [trace.begin, trace.end) through the cache sim
+// for the measured side). kind is the span name minus the "ckks."
+// prefix and doubles as the ledger key. Returns nil — and skips all
+// annotation work — when no recorder is attached.
+func (ev *Evaluator) startOp(kind string, level int, scale float64, fanout int) *obs.Span {
+	if ev.rec == nil {
+		return nil
+	}
+	sp := ev.rec.StartOp("ckks." + kind)
+	sp.SetAttr("ct.level", float64(level))
+	sp.SetAttr("ct.degree", 1)
+	if scale > 0 {
+		sp.SetAttr("ct.scale_log2", log2(scale))
+	}
+	if fanout > 1 {
+		sp.SetAttr("op.fanout", float64(fanout))
+	}
+	if ev.tr != nil {
+		sp.SetAttr("trace.begin", float64(ev.tr.Len()))
+	}
+	if ev.model != nil {
+		if c, ok := ev.model.PredictOp(kind, level+1, fanout); ok {
+			sp.SetAttr("pred.bytes", float64(c.Bytes))
+			sp.SetAttr("pred.ops", float64(c.Ops))
+			sp.SetAttr("pred.ntt", float64(c.NTT))
+		}
+	}
+	return sp
+}
+
+// endOp closes an op span, stamping the memtrace window end first.
+func (ev *Evaluator) endOp(sp *obs.Span) {
+	if sp == nil {
+		return
+	}
+	if ev.tr != nil {
+		sp.SetAttr("trace.end", float64(ev.tr.Len()))
+	}
+	sp.End()
+}
 
 // SetTracer attaches a memory access tracer (nil detaches it), propagating
 // it to the shared Converter and both rings so every kernel the evaluator
@@ -349,8 +410,8 @@ func (ev *Evaluator) Rescale(ct *Ciphertext) *Ciphertext {
 	if level == 0 {
 		panic("ckks: Rescale level (got=0, want>=1)")
 	}
-	sp := ev.rec.StartSpan("ckks.Rescale")
-	defer sp.End()
+	sp := ev.startOp("Rescale", level, ct.Scale, 0)
+	defer ev.endOp(sp)
 	// Per poly: one iNTT of the dropped limb, one forward NTT per
 	// remaining limb (rns.Converter.Rescale).
 	ev.rec.Add("ckks.ntt", uint64(2*(1+level)))
@@ -487,6 +548,9 @@ func (ev *Evaluator) kskInnerProduct(level int, digits []rns.PolyQP, swk *Switch
 	for j := range digits {
 		ds[j] = ev.digit(swk, j)
 	}
+	// Key traffic: each digit iteration streams both key halves over every
+	// raised limb — 2·β·(ℓ+1+kP) limbs of 8N bytes.
+	ev.rec.Add("ckks.key.bytes", 2*uint64(len(digits))*uint64(nQ+nP)*8*uint64(n))
 	if ev.fi != nil {
 		// Chaos hook: corrupt resolved switching-key digits in place. The
 		// Visit counter selects which digit (hooks run in ascending digit
@@ -578,8 +642,8 @@ func (ev *Evaluator) keySwitchDown(level int, u, v rns.PolyQP, workers int) (p0,
 
 // KeySwitch computes ⟦x·w⟧ under the target key (full Algorithm 3).
 func (ev *Evaluator) KeySwitch(level int, x *ring.Poly, swk *SwitchingKey) (p0, p1 *ring.Poly) {
-	sp := ev.rec.StartSpan("ckks.KeySwitch")
-	defer sp.End()
+	sp := ev.startOp("KeySwitch", level, 0, 0)
+	defer ev.endOp(sp)
 	u, v := ev.keySwitchRaised(level, x, swk)
 	p0, p1 = ev.keySwitchDown(level, u, v, ev.workers)
 	conv := ev.params.Converter()
@@ -596,10 +660,10 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
 	if ev.keys.Rlk == nil {
 		panic("ckks: relinearization key missing (got=nil, want=key)")
 	}
-	sp := ev.rec.StartSpan("ckks.MulRelin")
-	defer sp.End()
-	ev.rec.Add("ckks.mult", 1)
 	level := minLevel(ct0, ct1)
+	sp := ev.startOp("MulRelin", level, ct0.Scale, 0)
+	defer ev.endOp(sp)
+	ev.rec.Add("ckks.mult", 1)
 	rQ := ev.params.RingQ().AtLevel(level)
 
 	d0, d1, d2 := rQ.NewPoly(), rQ.NewPoly(), rQ.NewPoly()
@@ -617,8 +681,8 @@ func (ev *Evaluator) MulRelin(ct0, ct1 *Ciphertext) *Ciphertext {
 
 // Mul is the full Table 2 Mult: tensor, relinearize, rescale.
 func (ev *Evaluator) Mul(ct0, ct1 *Ciphertext) *Ciphertext {
-	sp := ev.rec.StartSpan("ckks.Mult")
-	defer sp.End()
+	sp := ev.startOp("Mult", minLevel(ct0, ct1), ct0.Scale, 0)
+	defer ev.endOp(sp)
 	return ev.Rescale(ev.MulRelin(ct0, ct1))
 }
 
@@ -639,16 +703,16 @@ func (ev *Evaluator) Rotate(ct *Ciphertext, k int) *Ciphertext {
 	if g == 1 {
 		return ct.CopyNew()
 	}
-	sp := ev.rec.StartSpan("ckks.Rotate")
-	defer sp.End()
+	sp := ev.startOp("Rotate", ct.Level, ct.Scale, 0)
+	defer ev.endOp(sp)
 	ev.rec.Add("ckks.rotate", 1)
 	return ev.automorphism(ct, g)
 }
 
 // Conjugate returns the slot-wise complex conjugate (Table 2 Conjugate).
 func (ev *Evaluator) Conjugate(ct *Ciphertext) *Ciphertext {
-	sp := ev.rec.StartSpan("ckks.Conjugate")
-	defer sp.End()
+	sp := ev.startOp("Conjugate", ct.Level, ct.Scale, 0)
+	defer ev.endOp(sp)
 	return ev.automorphism(ct, ev.params.RingQ().GaloisElementConjugate())
 }
 
@@ -719,8 +783,14 @@ func (ev *Evaluator) rotateFromDigits(level int, ct *Ciphertext, digits []rns.Po
 // worker budget fans out across them first and falls back to limb-level
 // parallelism inside each step.
 func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphertext {
-	sp := ev.rec.StartSpan("ckks.RotateHoisted")
-	defer sp.End()
+	fan := 0
+	for _, k := range steps {
+		if ev.params.RingQ().GaloisElement(k) != 1 {
+			fan++
+		}
+	}
+	sp := ev.startOp("RotateHoisted", ct.Level, ct.Scale, fan)
+	defer ev.endOp(sp)
 	level := ct.Level
 	digits := ev.decomposeModUp(level, ct.C1, ev.workers)
 
@@ -772,6 +842,8 @@ func (ev *Evaluator) Square(ct *Ciphertext) *Ciphertext {
 		panic("ckks: relinearization key missing (got=nil, want=key)")
 	}
 	level := ct.Level
+	sp := ev.startOp("Square", level, ct.Scale, 0)
+	defer ev.endOp(sp)
 	rQ := ev.params.RingQ().AtLevel(level)
 
 	d0, d1, d2 := rQ.NewPoly(), rQ.NewPoly(), rQ.NewPoly()

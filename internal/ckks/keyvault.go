@@ -90,8 +90,8 @@ type keyVault struct {
 	expansions uint64
 	evictions  uint64
 
-	rec *obs.Recorder        // nil-safe; counter/gauge export
-	tr  *memtrace.Tracer     // nil-safe; expansion writes + eviction discards
+	rec *obs.Recorder         // nil-safe; counter/gauge export
+	tr  *memtrace.Tracer      // nil-safe; expansion writes + eviction discards
 	fi  *faultinject.Injector // chaos hook at the materialization site
 }
 

@@ -1,0 +1,132 @@
+package ckks_test
+
+// External test package: the ledger imports ckks, so wiring both
+// together has to live outside package ckks. This is the end-to-end
+// check that an instrumented evaluator produces the span hierarchy and
+// cost-ledger annotations the drift harness and dashboard consume.
+
+import (
+	"testing"
+
+	"repro/internal/ckks"
+	"repro/internal/obs"
+	"repro/internal/obs/ledger"
+	"repro/internal/prng"
+)
+
+func TestEvaluatorSpanHierarchyWithLedger(t *testing.T) {
+	// The calibration parameter point: 12 Q-limbs, dnum 4 → 4 special limbs.
+	logQ := []int{48}
+	for i := 0; i < 11; i++ {
+		logQ = append(logQ, 40)
+	}
+	params, err := ckks.NewParameters(ckks.ParametersLiteral{
+		LogN: 10, LogQ: logQ, LogP: []int{50, 50, 50, 50}, LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed [prng.SeedSize]byte
+	copy(seed[:], "ledger integration test")
+	src := prng.NewSource(seed)
+	kg := ckks.NewKeyGenerator(params, src)
+	sk := kg.GenSecretKey()
+	ev := ckks.NewEvaluator(params, &ckks.EvaluationKeySet{
+		Rlk: kg.GenRelinearizationKey(sk, false),
+	})
+	rec := obs.NewRecorder()
+	ev.SetRecorder(rec)
+	model, err := ledger.ForParameters(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.SetCostModel(model)
+	if ev.CostModel() != model {
+		t.Fatal("CostModel not attached")
+	}
+
+	enc := ckks.NewEncoder(params)
+	vals := make([]complex128, params.Slots())
+	for i := range vals {
+		vals[i] = complex(float64(i%7)/7, 0)
+	}
+	encryptor := ckks.NewSecretKeyEncryptor(params, sk, src)
+	ct0 := encryptor.Encrypt(enc.Encode(vals))
+	ct1 := encryptor.Encrypt(enc.Encode(vals))
+	level := ct0.Level
+	ev.Mul(ct0, ct1)
+
+	snap := rec.Snapshot()
+	byName := map[string]obs.SpanRecord{}
+	for _, sp := range snap.Spans {
+		byName[sp.Name] = sp
+	}
+	mult, ok := byName["ckks.Mult"]
+	if !ok {
+		t.Fatal("no ckks.Mult span")
+	}
+	if mult.Parent != 0 {
+		t.Errorf("Mult should be a root span, parent = %d", mult.Parent)
+	}
+	// The Mult span owns its constituent ops: MulRelin directly, Rescale
+	// and KeySwitch transitively (KeySwitch nests under MulRelin).
+	byID := map[uint64]obs.SpanRecord{}
+	for _, sp := range snap.Spans {
+		byID[sp.ID] = sp
+	}
+	isDescendantOfMult := func(sp obs.SpanRecord) bool {
+		for p := sp.Parent; p != 0; p = byID[p].Parent {
+			if p == mult.ID {
+				return true
+			}
+			if _, ok := byID[p]; !ok {
+				return false
+			}
+		}
+		return false
+	}
+	for _, name := range []string{"ckks.MulRelin", "ckks.Rescale", "ckks.KeySwitch"} {
+		sp, ok := byName[name]
+		if !ok {
+			t.Fatalf("no %s span", name)
+		}
+		if !isDescendantOfMult(sp) {
+			t.Errorf("%s (parent %d) is not a descendant of Mult %d", name, sp.Parent, mult.ID)
+		}
+	}
+
+	// Ledger annotations: prediction, ciphertext telemetry, and a
+	// measured-bytes window that agrees with the model's order of
+	// magnitude.
+	wantPred, ok := model.PredictOp("Mult", level+1, 0)
+	if !ok {
+		t.Fatalf("model does not cover Mult at %d limbs", level+1)
+	}
+	if got := mult.Attrs["pred.bytes"]; got != float64(wantPred.Bytes) {
+		t.Errorf("pred.bytes = %v, want %d", got, wantPred.Bytes)
+	}
+	if got := mult.Attrs["pred.ntt"]; got != float64(wantPred.NTT) {
+		t.Errorf("pred.ntt = %v, want %d", got, wantPred.NTT)
+	}
+	if got := mult.Attrs["ct.level"]; got != float64(level) {
+		t.Errorf("ct.level = %v, want %d", got, level)
+	}
+	if _, ok := mult.Attrs["ct.scale_log2"]; !ok {
+		t.Error("ct.scale_log2 attr missing")
+	}
+	meas, ok := mult.MeasuredBytes()
+	if !ok || meas == 0 {
+		t.Fatalf("MeasuredBytes = %d, %v", meas, ok)
+	}
+	// Kernel-counter bytes are a raw-traffic proxy, not cache-filtered;
+	// they should land within a small factor of the model's DRAM figure.
+	if ratio := float64(meas) / float64(wantPred.Bytes); ratio < 0.2 || ratio > 5 {
+		t.Errorf("measured/predicted = %.2f (meas %d, pred %d): attribution window looks wrong", ratio, meas, wantPred.Bytes)
+	}
+
+	// Nested op spans carry their own predictions (the drift harness
+	// relies on the children being annotated too).
+	if _, ok := byName["ckks.Rescale"].Attrs["pred.bytes"]; !ok {
+		t.Error("Rescale span missing pred.bytes")
+	}
+}

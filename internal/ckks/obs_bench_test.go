@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/simfhe"
 )
 
 // benchEvaluator builds an evaluator with relinearization keys and two
@@ -16,6 +17,32 @@ func benchEvaluator(b *testing.B) (*Evaluator, *Ciphertext, *Ciphertext) {
 	ct0 := tc.encSk.Encrypt(tc.enc.Encode(vals))
 	ct1 := tc.encSk.Encrypt(tc.enc.Encode(vals))
 	return ev, ct0, ct1
+}
+
+// benchCostModel adapts a simfhe context to obs.CostModel for the
+// enabled-telemetry benchmark. It mirrors internal/obs/ledger.Model
+// (which cannot be imported here: ledger depends on ckks), so the
+// benchmark pays the real model-evaluation cost per op span.
+type benchCostModel struct{ ctx simfhe.Ctx }
+
+func (m benchCostModel) PredictOp(kind string, limbs, _ int) (obs.OpCost, bool) {
+	if limbs < 2 || limbs > m.ctx.P.L {
+		return obs.OpCost{}, false
+	}
+	var c simfhe.Cost
+	switch kind {
+	case "Mult":
+		c = m.ctx.Mult(limbs)
+	case "MulRelin", "Square":
+		c = m.ctx.MulRelin(limbs)
+	case "Rescale":
+		c = m.ctx.RescalePoly(limbs).Times(2)
+	case "KeySwitch":
+		c = m.ctx.KeySwitch(limbs)
+	default:
+		return obs.OpCost{}, false
+	}
+	return obs.OpCost{Bytes: c.Bytes(), Ops: c.Ops(), NTT: c.NTT}, true
 }
 
 // BenchmarkMultRecorderOff is the baseline: the instrumentation is
@@ -31,13 +58,19 @@ func BenchmarkMultRecorderOff(b *testing.B) {
 	}
 }
 
-// BenchmarkMultRecorderOn runs the same multiply with a live recorder:
-// spans on every sub-operation, counter adds in the kernels, and a
-// histogram observation per span end.
+// BenchmarkMultRecorderOn runs the same multiply with a live recorder
+// and an attached cost model: hierarchical spans on every sub-operation,
+// ledger predictions and ciphertext telemetry per op span, counter adds
+// in the kernels, and a histogram observation per span end.
 func BenchmarkMultRecorderOn(b *testing.B) {
 	ev, ct0, ct1 := benchEvaluator(b)
 	rec := obs.NewRecorder()
 	ev.SetRecorder(rec)
+	mp := simfhe.Params{
+		LogN: 10, LogQ: 40, L: ev.Params().MaxLevel() + 1, Dnum: 1,
+		FFTIter: 3, SineDegree: 31, DoubleAngle: 3,
+	}
+	ev.SetCostModel(benchCostModel{ctx: simfhe.NewCtx(mp, simfhe.CacheConfig{Bytes: 6 * mp.LimbBytes()}, simfhe.NoOpts())})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev.Mul(ct0, ct1)
@@ -54,6 +87,20 @@ func BenchmarkSpanNilRecorder(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sp := rec.StartSpan("op")
 		rec.Add("k", 1)
+		sp.End()
+	}
+}
+
+// BenchmarkOpSpanNilRecorder pins the disabled cost of the hierarchy
+// primitives used on every evaluator op.
+func BenchmarkOpSpanNilRecorder(b *testing.B) {
+	var rec *obs.Recorder
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := rec.StartOp("op")
+		sp.SetAttr("k", 1)
+		rec.StartLinked("leaf").End()
 		sp.End()
 	}
 }

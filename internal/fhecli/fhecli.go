@@ -20,6 +20,7 @@ import (
 	"repro/internal/ckks"
 	"repro/internal/fherr"
 	"repro/internal/obs"
+	"repro/internal/obs/ledger"
 	"repro/internal/prng"
 )
 
@@ -154,6 +155,7 @@ func printStats(w io.Writer, r *obs.Recorder) {
 				h.Quantile(0.50)/1e3, h.Quantile(0.95)/1e3, h.Quantile(0.99)/1e3, float64(h.Max)/1e3)
 		}
 	}
+	printLedger(w, s)
 	if len(s.Counters) > 0 {
 		fmt.Fprintf(w, "%-40s %15s\n", "counter", "value")
 		names := make([]string, 0, len(s.Counters))
@@ -175,6 +177,46 @@ func printStats(w io.Writer, r *obs.Recorder) {
 		for _, name := range names {
 			fmt.Fprintf(w, "%-40s %15.0f\n", name, s.Gauges[name])
 		}
+	}
+}
+
+// printLedger renders the per-op cost-ledger section of -stats: spans
+// that carry a model prediction are grouped by op name, with predicted
+// bytes (analytic model) next to the measured kernel-counter deltas.
+func printLedger(w io.Writer, s obs.Snapshot) {
+	type acc struct {
+		count      int
+		pred, meas uint64
+	}
+	byOp := map[string]*acc{}
+	for _, sp := range s.Spans {
+		pred, okP := sp.Attrs["pred.bytes"]
+		meas, okM := sp.MeasuredBytes()
+		if !okP || !okM || pred <= 0 {
+			continue
+		}
+		a := byOp[sp.Name]
+		if a == nil {
+			a = &acc{}
+			byOp[sp.Name] = a
+		}
+		a.count++
+		a.pred += uint64(pred)
+		a.meas += meas
+	}
+	if len(byOp) == 0 {
+		return
+	}
+	names := make([]string, 0, len(byOp))
+	for k := range byOp {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-28s %8s %14s %14s %8s\n", "ledger op", "count", "pred bytes", "meas bytes", "delta")
+	for _, name := range names {
+		a := byOp[name]
+		delta := 100 * (float64(a.meas) - float64(a.pred)) / float64(a.pred)
+		fmt.Fprintf(w, "%-28s %8d %14d %14d %+7.1f%%\n", name, a.count, a.pred, a.meas, delta)
 	}
 }
 
@@ -259,8 +301,20 @@ func (k *keyDir) evaluator(needRotation int) (*ckks.Evaluator, error) {
 		keys.Galois[g] = &ckks.GaloisKey{GaloisEl: g, SwitchingKey: *gswk}
 	}
 	ev := ckks.NewEvaluator(k.params, keys, ckks.WithWorkers(workerCount))
-	ev.SetRecorder(recorder)
+	attachTelemetry(ev, k.params)
 	return ev, nil
+}
+
+// attachTelemetry wires the shared recorder and, when the parameter set
+// maps onto the analytic model, the cost ledger — so -stats can report
+// predicted-vs-measured traffic per op. Parameter sets outside the
+// model's domain (no dnum reproduces the special-limb count) simply run
+// without predictions.
+func attachTelemetry(ev *ckks.Evaluator, params *ckks.Parameters) {
+	ev.SetRecorder(recorder)
+	if m, err := ledger.ForParameters(params); err == nil {
+		ev.SetCostModel(m)
+	}
 }
 
 func keygen(args []string, w io.Writer) error {
@@ -573,7 +627,7 @@ func innerSum(args []string, w io.Writer) error {
 		keys.Galois[g] = &ckks.GaloisKey{GaloisEl: g, SwitchingKey: *swk}
 	}
 	ev := ckks.NewEvaluator(k.params, keys, ckks.WithWorkers(workerCount))
-	ev.SetRecorder(recorder)
+	attachTelemetry(ev, k.params)
 	res, err := ev.InnerSumE(ct, *n)
 	if err != nil {
 		return err

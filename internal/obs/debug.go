@@ -59,6 +59,8 @@ func NewDebugServer(addr string, r *Recorder) (*DebugServer, error) {
 		_ = r.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", d.serveHealthz)
+	mux.HandleFunc("/dash", d.serveDash)
+	mux.HandleFunc("/dash/data", d.serveDashData)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	d.srv = srv
 	d.Addr = ln.Addr().String()

@@ -7,22 +7,23 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"time"
 )
 
 // Exporters. All three operate on a Snapshot and are deterministic:
 // spans are ordered by start time (then ID), counters and gauges by name.
 
-// chromeEvent is one trace_event entry. We emit only complete ("X")
-// duration events plus process/thread names; nesting is derived by the
-// viewer from the time intervals on a shared tid.
+// chromeEvent is one trace_event entry. We emit complete ("X") duration
+// events on packed lanes plus thread-name metadata; nesting is derived by
+// the viewer from the time intervals on a shared tid.
 type chromeEvent struct {
-	Name string            `json:"name"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"` // microseconds
-	Dur  float64           `json:"dur,omitempty"`
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	Args map[string]uint64 `json:"args,omitempty"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 type chromeTrace struct {
@@ -30,32 +31,116 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// workerLaneBase offsets explicitly-tagged worker tids so they never
+// collide with the packed lanes of untagged spans.
+const workerLaneBase = 1000
+
+// assignLanes maps each span (pre-sorted by start time) to a Chrome tid.
+// Spans tagged with an explicit worker Tid get a dedicated lane per
+// worker; the rest are greedily packed onto as few lanes as proper
+// interval nesting allows, preferring the lane their parent occupies so
+// call trees render as stacked slices rather than an overlapping smear.
+func assignLanes(spans []SpanRecord) []int {
+	type open struct {
+		end time.Duration
+	}
+	var lanes [][]open // stack of currently-open intervals per lane
+	laneOf := make(map[uint64]int, len(spans))
+	out := make([]int, len(spans))
+	for i, sp := range spans {
+		if sp.Tid != 0 {
+			out[i] = workerLaneBase + sp.Tid
+			continue
+		}
+		end := sp.Start + sp.Dur
+		fits := func(l int) bool {
+			st := lanes[l]
+			for len(st) > 0 && st[len(st)-1].end <= sp.Start {
+				st = st[:len(st)-1]
+			}
+			lanes[l] = st
+			return len(st) == 0 || end <= st[len(st)-1].end
+		}
+		lane := -1
+		if pl, ok := laneOf[sp.Parent]; ok && fits(pl) {
+			lane = pl
+		} else {
+			for l := range lanes {
+				if fits(l) {
+					lane = l
+					break
+				}
+			}
+		}
+		if lane < 0 {
+			lanes = append(lanes, nil)
+			lane = len(lanes) - 1
+		}
+		lanes[lane] = append(lanes[lane], open{end})
+		laneOf[sp.ID] = lane
+		out[i] = lane + 1 // packed lanes are 1-based; tid 0 stays unused
+	}
+	return out
+}
+
 // WriteChromeTrace writes the snapshot in Chrome trace_event JSON format,
 // loadable in chrome://tracing or https://ui.perfetto.dev. Span counter
-// deltas appear as event args; recorder-level counters and gauges are
-// attached to a zero-duration "metrics" instant event at the end of the
-// trace.
+// deltas and ledger attributes appear as event args; recorder-level
+// counters and gauges are attached to a zero-duration "metrics" instant
+// event at the end of the trace. Worker-tagged spans render on their own
+// named threads; everything else is lane-packed for proper nesting.
 func (s Snapshot) WriteChromeTrace(w io.Writer) error {
 	spans := append([]SpanRecord(nil), s.Spans...)
 	sort.Slice(spans, func(i, j int) bool {
 		if spans[i].Start != spans[j].Start {
 			return spans[i].Start < spans[j].Start
 		}
+		if spans[i].Dur != spans[j].Dur {
+			return spans[i].Dur > spans[j].Dur // parents before children at equal start
+		}
 		return spans[i].ID < spans[j].ID
 	})
+	lanes := assignLanes(spans)
 	tr := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	if len(spans) > 0 {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: 1, Args: map[string]any{"name": "fhe"},
+		})
+	}
+	named := map[int]bool{}
 	var end float64
-	for _, sp := range spans {
+	for i, sp := range spans {
+		tid := lanes[i]
+		if !named[tid] {
+			named[tid] = true
+			name := "ops"
+			switch {
+			case tid >= workerLaneBase:
+				name = fmt.Sprintf("worker %d", tid-workerLaneBase)
+			case tid > 1:
+				name = fmt.Sprintf("ops overflow %d", tid-1)
+			}
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+				Args: map[string]any{"name": name},
+			})
+		}
 		ev := chromeEvent{
 			Name: sp.Name,
 			Ph:   "X",
 			Ts:   float64(sp.Start.Nanoseconds()) / 1e3,
 			Dur:  float64(sp.Dur.Nanoseconds()) / 1e3,
 			Pid:  1,
-			Tid:  1,
+			Tid:  tid,
 		}
-		if len(sp.Counters) > 0 {
-			ev.Args = sp.Counters
+		if len(sp.Counters)+len(sp.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(sp.Counters)+len(sp.Attrs))
+			for k, v := range sp.Counters {
+				ev.Args[k] = v
+			}
+			for k, v := range sp.Attrs {
+				ev.Args[k] = v
+			}
 		}
 		if e := ev.Ts + ev.Dur; e > end {
 			end = e
@@ -63,12 +148,12 @@ func (s Snapshot) WriteChromeTrace(w io.Writer) error {
 		tr.TraceEvents = append(tr.TraceEvents, ev)
 	}
 	if len(s.Counters) > 0 || len(s.Gauges) > 0 || len(s.Hists) > 0 {
-		args := make(map[string]uint64, len(s.Counters)+len(s.Gauges)+4*len(s.Hists))
+		args := make(map[string]any, len(s.Counters)+len(s.Gauges)+4*len(s.Hists))
 		for k, v := range s.Counters {
 			args[k] = v
 		}
 		for k, v := range s.Gauges {
-			args[k] = uint64(v)
+			args[k] = v
 		}
 		// Histograms surface as their headline latencies (nanoseconds) so
 		// the percentiles are visible next to the trace they summarize.
@@ -89,17 +174,21 @@ func (s Snapshot) WriteChromeTrace(w io.Writer) error {
 
 // WritePrometheus writes counters and gauges in the Prometheus text
 // exposition format (version 0.0.4). Counter names are suffixed _total
-// per convention; all names are sanitized to the Prometheus charset.
+// per convention; all names are sanitized to the Prometheus charset, and
+// every series carries # HELP/# TYPE headers naming the original
+// dotted-form metric so the sanitized identifier stays traceable.
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, name := range sortedKeys(s.Counters) {
 		metric := promName(name) + "_total"
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", metric, metric, s.Counters[name]); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s Counter %q recorded by internal/obs.\n# TYPE %s counter\n%s %d\n",
+			metric, name, metric, metric, s.Counters[name]); err != nil {
 			return err
 		}
 	}
 	for _, name := range sortedKeys(s.Gauges) {
 		metric := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", metric, metric,
+		if _, err := fmt.Fprintf(w, "# HELP %s Gauge %q recorded by internal/obs.\n# TYPE %s gauge\n%s %s\n",
+			metric, name, metric, metric,
 			strconv.FormatFloat(s.Gauges[name], 'g', -1, 64)); err != nil {
 			return err
 		}
@@ -119,7 +208,8 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 // exposition compact; trailing buckets collapse into +Inf.
 func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
 	metric := promName(name) + "_seconds"
-	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", metric); err != nil {
+	if _, err := fmt.Fprintf(w, "# HELP %s Latency histogram %q recorded by internal/obs, in seconds.\n# TYPE %s histogram\n",
+		metric, name, metric); err != nil {
 		return err
 	}
 	first, last := -1, -1

@@ -67,8 +67,14 @@ func TestChromeTraceGolden(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
 		t.Fatalf("invalid JSON: %v", err)
 	}
-	if len(parsed.TraceEvents) != 4 { // 3 spans + metrics instant
-		t.Fatalf("got %d events, want 4", len(parsed.TraceEvents))
+	var slices int
+	for _, ev := range parsed.TraceEvents {
+		if ev["ph"] == "X" || ev["ph"] == "i" {
+			slices++
+		}
+	}
+	if slices != 4 { // 3 spans + metrics instant; metadata events don't count
+		t.Fatalf("got %d slice/instant events, want 4", slices)
 	}
 	checkGolden(t, "chrome_trace.golden.json", buf.Bytes())
 }

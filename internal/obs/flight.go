@@ -29,27 +29,27 @@ type FlightSpan struct {
 
 // FlightHist is one histogram rendered to its headline statistics.
 type FlightHist struct {
-	Count uint64  `json:"count"`
-	P50Us float64 `json:"p50_us"`
-	P95Us float64 `json:"p95_us"`
-	P99Us float64 `json:"p99_us"`
-	MaxUs float64 `json:"max_us"`
+	Count  uint64  `json:"count"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MaxUs  float64 `json:"max_us"`
 	MeanUs float64 `json:"mean_us"`
 }
 
 // FlightDump is the FLIGHT.json schema.
 type FlightDump struct {
-	Reason       string                `json:"reason"`
-	WrittenAt    string                `json:"written_at"`
-	GoVersion    string                `json:"go_version"`
-	GOOS         string                `json:"goos"`
-	GOARCH       string                `json:"goarch"`
-	RetainedSpans int                  `json:"retained_spans"`
-	DroppedSpans uint64                `json:"dropped_spans"`
-	Spans        []FlightSpan          `json:"spans"`
-	Counters     map[string]uint64     `json:"counters,omitempty"`
-	Gauges       map[string]float64    `json:"gauges,omitempty"`
-	Hists        map[string]FlightHist `json:"hists,omitempty"`
+	Reason        string                `json:"reason"`
+	WrittenAt     string                `json:"written_at"`
+	GoVersion     string                `json:"go_version"`
+	GOOS          string                `json:"goos"`
+	GOARCH        string                `json:"goarch"`
+	RetainedSpans int                   `json:"retained_spans"`
+	DroppedSpans  uint64                `json:"dropped_spans"`
+	Spans         []FlightSpan          `json:"spans"`
+	Counters      map[string]uint64     `json:"counters,omitempty"`
+	Gauges        map[string]float64    `json:"gauges,omitempty"`
+	Hists         map[string]FlightHist `json:"hists,omitempty"`
 }
 
 // Flight renders the snapshot into the FLIGHT.json schema. Spans keep

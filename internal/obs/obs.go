@@ -50,17 +50,30 @@ const DroppedSpansCounter = "obs.dropped_spans"
 // "obs.dropped_spans" counter, so a recorder attached to a long-running
 // process is a flight recorder — constant memory, always holding the
 // spans that led up to now — rather than a leak.
+//
+// Beyond explicit parent links (StartChild), the recorder carries a
+// trace cursor: StartOp opens a span as a child of the current op span
+// and makes itself current until End, and StartLinked opens a
+// lightweight span under whatever op is current *without* advancing the
+// cursor. The cursor is an atomic pointer, so worker goroutines inside a
+// ring.Parallel fan-out can parent their task spans to the op that
+// spawned them — a Mult span owns its ModUp/ModDown/worker children even
+// across goroutines. With several op streams racing on one recorder the
+// attribution is best-effort (last StartOp wins); the intended shape is
+// one logical op stream per recorder.
 type Recorder struct {
 	mu       sync.Mutex
 	start    time.Time
 	now      func() time.Time // injectable clock for deterministic tests
 	spans    []SpanRecord
-	head     int // next overwrite position once len(spans) == spanCap
-	spanCap  int // ≤ 0 means unbounded
+	head     int      // next overwrite position once len(spans) == spanCap
+	spanCap  int      // ≤ 0 means unbounded
 	counters sync.Map // string → *atomic.Uint64
 	hists    sync.Map // string → *Histogram
 	gauges   map[string]float64
 	nextID   atomic.Uint64
+	cur      atomic.Pointer[Span] // current op span (trace cursor)
+	epoch    atomic.Uint64        // bumped by Reset; spans straddling a Reset re-root
 }
 
 // RecorderOption configures a Recorder at construction time.
@@ -106,12 +119,23 @@ type SpanRecord struct {
 	ID     uint64
 	Parent uint64 // 0 for root spans
 	Name   string
-	Start  time.Duration
-	Dur    time.Duration
+	// Tid is an explicit thread lane for the Chrome-trace export: 0 means
+	// "unassigned" (the exporter lane-packs the span next to its parent),
+	// > 0 pins the span to a stable worker lane (ring.Parallel records
+	// its pool goroutine index here).
+	Tid   int
+	Start time.Duration
+	Dur   time.Duration
 	// Counters holds the delta of every recorder counter over the span's
 	// lifetime. Overlapping spans each observe the full delta (attribution
-	// is by wall-clock interval, not exclusive ownership).
+	// is by wall-clock interval, not exclusive ownership). Nil for
+	// lightweight spans (StartLinked), which skip the counter snapshot.
 	Counters map[string]uint64
+	// Attrs holds the cost-ledger annotations attached with SetAttr:
+	// predicted bytes/ops from the analytic model, measured kernel-counter
+	// deltas, ciphertext telemetry (level, scale, degree), trace-window
+	// cursors. Nil when no attributes were set.
+	Attrs map[string]float64
 }
 
 // Span is an in-flight span handle. A nil *Span is a valid no-op.
@@ -120,8 +144,20 @@ type Span struct {
 	id     uint64
 	parent uint64
 	name   string
+	tid    int
 	start  time.Time
 	snap   map[string]uint64
+	lite   bool  // skip counter snapshot/delta (StartLinked)
+	cursor bool  // this span advanced the recorder's trace cursor
+	prev   *Span // cursor to restore at End
+	epoch  uint64
+	attrs  []spanAttr
+}
+
+// spanAttr is one pending SetAttr entry; End folds them into the map.
+type spanAttr struct {
+	key string
+	val float64
 }
 
 // NewRecorder returns an empty, enabled recorder. Span retention
@@ -144,7 +180,54 @@ func (r *Recorder) StartSpan(name string) *Span {
 	if r == nil {
 		return nil
 	}
-	return r.startSpan(name, 0)
+	return r.startSpan(name, 0, false)
+}
+
+// StartOp opens a span as a child of the recorder's current op span (a
+// root when none is current) and makes it current until End — the
+// context-propagation primitive: nested evaluator calls on the same
+// goroutine form a tree without threading span handles through every
+// signature, and concurrent worker goroutines see the op via
+// CurrentSpan/StartLinked. End restores the previous cursor.
+func (r *Recorder) StartOp(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	prev := r.cur.Load()
+	var parent uint64
+	if prev != nil {
+		parent = prev.id
+	}
+	s := r.startSpan(name, parent, false)
+	s.cursor, s.prev = true, prev
+	r.cur.Store(s)
+	return s
+}
+
+// StartLinked opens a lightweight span parented to the current op span
+// without advancing the cursor: the shape for kernel- and worker-side
+// children (rns conversions, ring.Parallel pool tasks) that may start
+// concurrently on many goroutines. Lightweight spans skip the counter
+// snapshot/delta — they carry duration, parentage and attrs only, so
+// they are cheap enough for fan-out paths.
+func (r *Recorder) StartLinked(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	var parent uint64
+	if cur := r.cur.Load(); cur != nil {
+		parent = cur.id
+	}
+	return r.startSpan(name, parent, true)
+}
+
+// CurrentSpan returns the recorder's current op span (nil when no op is
+// in flight or the recorder is nil).
+func (r *Recorder) CurrentSpan() *Span {
+	if r == nil {
+		return nil
+	}
+	return r.cur.Load()
 }
 
 // StartChild opens a span parented under s (falling back to a root span
@@ -154,13 +237,50 @@ func (s *Span) StartChild(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return s.r.startSpan(name, s.id)
+	return s.r.startSpan(name, s.id, false)
 }
 
-func (r *Recorder) startSpan(name string, parent uint64) *Span {
+func (r *Recorder) startSpan(name string, parent uint64, lite bool) *Span {
 	id := r.nextID.Add(1)
-	snap := r.counterSnapshot()
-	return &Span{r: r, id: id, parent: parent, name: name, start: r.now(), snap: snap}
+	var snap map[string]uint64
+	if !lite {
+		snap = r.counterSnapshot()
+	}
+	return &Span{
+		r: r, id: id, parent: parent, name: name,
+		start: r.now(), snap: snap, lite: lite,
+		epoch: r.epoch.Load(),
+	}
+}
+
+// SetAttr attaches a named float64 attribute to the span (recorded into
+// SpanRecord.Attrs at End). Span handles are single-owner: SetAttr is
+// not safe for concurrent use on one span. Returns the span for
+// chaining; nil-safe.
+func (s *Span) SetAttr(key string, val float64) *Span {
+	if s == nil {
+		return nil
+	}
+	s.attrs = append(s.attrs, spanAttr{key, val})
+	return s
+}
+
+// SetTid pins the span to an explicit Chrome-trace thread lane (see
+// SpanRecord.Tid). Nil-safe.
+func (s *Span) SetTid(tid int) *Span {
+	if s == nil {
+		return nil
+	}
+	s.tid = tid
+	return s
+}
+
+// ID returns the span's unique id (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // End finishes the span, records it into the bounded span ring (evicting
@@ -174,18 +294,39 @@ func (s *Span) End() {
 	r := s.r
 	end := r.now()
 	var delta map[string]uint64
-	r.counters.Range(func(k, v any) bool {
-		// A Reset between StartSpan and End can zero counters below the
-		// span's snapshot; an unsigned subtraction would wrap to a garbage
-		// near-2^64 delta, so deltas are clamped at zero instead.
-		if cur := v.(*atomic.Uint64).Load(); cur > s.snap[k.(string)] {
-			if delta == nil {
-				delta = make(map[string]uint64)
+	if !s.lite {
+		r.counters.Range(func(k, v any) bool {
+			// A Reset between StartSpan and End can zero counters below the
+			// span's snapshot; an unsigned subtraction would wrap to a garbage
+			// near-2^64 delta, so deltas are clamped at zero instead.
+			if cur := v.(*atomic.Uint64).Load(); cur > s.snap[k.(string)] {
+				if delta == nil {
+					delta = make(map[string]uint64)
+				}
+				delta[k.(string)] = cur - s.snap[k.(string)]
 			}
-			delta[k.(string)] = cur - s.snap[k.(string)]
+			return true
+		})
+	}
+	if s.cursor {
+		// Restore the trace cursor. The CAS tolerates misnesting: if a
+		// concurrent StartOp replaced the cursor, leave theirs in place.
+		r.cur.CompareAndSwap(s, s.prev)
+	}
+	parent := s.parent
+	if s.epoch != r.epoch.Load() {
+		// A Reset happened while this span was in flight: its parent was
+		// discarded with the old epoch, so the span re-roots instead of
+		// pointing at an id that no longer exists (no orphans after Reset).
+		parent = 0
+	}
+	var attrs map[string]float64
+	if len(s.attrs) > 0 {
+		attrs = make(map[string]float64, len(s.attrs))
+		for _, a := range s.attrs {
+			attrs[a.key] = a.val
 		}
-		return true
-	})
+	}
 	dur := end.Sub(s.start)
 	r.histogram(s.name).Record(uint64(max(dur, 0)))
 	r.mu.Lock()
@@ -197,11 +338,13 @@ func (s *Span) End() {
 	}
 	rec := SpanRecord{
 		ID:       s.id,
-		Parent:   s.parent,
+		Parent:   parent,
 		Name:     s.name,
+		Tid:      s.tid,
 		Start:    start,
 		Dur:      dur,
 		Counters: delta,
+		Attrs:    attrs,
 	}
 	dropped := false
 	if r.spanCap > 0 && len(r.spans) >= r.spanCap {
@@ -260,6 +403,8 @@ func (r *Recorder) Reset() {
 	if r == nil {
 		return
 	}
+	r.epoch.Add(1)   // in-flight spans re-root at End (see Span.End)
+	r.cur.Store(nil) // the old op stream's cursor must not leak into the new epoch
 	r.mu.Lock()
 	r.spans = r.spans[:0]
 	r.head = 0

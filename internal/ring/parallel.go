@@ -20,7 +20,10 @@ var taskRec atomic.Pointer[obs.Recorder]
 
 // SetTaskRecorder attaches rec (nil detaches) to the worker pool: each
 // task executed on a pool goroutine records its wall-clock latency into
-// the "ring.parallel.task" histogram. Task latency spread is the
+// the "ring.parallel.task" histogram, and each worker goroutine records
+// one "ring.parallel.worker" lite span parented to the submitting op
+// span (with a stable per-worker tid), so fan-outs nest under the op
+// that issued them in the trace. Task latency spread is the
 // load-balance signal — a long p99 tail on uniform limb work means the
 // scheduler, not the kernel, is the bottleneck.
 func SetTaskRecorder(rec *obs.Recorder) {
@@ -133,9 +136,16 @@ func Parallel(n, workers int, fn func(i int)) {
 	rec := taskRec.Load()
 	wg.Add(w)
 	for g := 0; g < w; g++ {
-		go func() {
+		go func(g int) {
 			defer wg.Done()
 			defer pc.capture()
+			// One lite span per worker goroutine, parented to whatever op
+			// span is current on the submitting side and tagged with a
+			// stable worker tid so Chrome traces show one lane per worker.
+			// The caller blocks in wg.Wait(), so the trace cursor it set
+			// cannot move underneath us.
+			sp := rec.StartLinked("ring.parallel.worker").SetTid(g + 1)
+			defer sp.End()
 			for i := range next {
 				if pc.stop.Load() {
 					continue // drain cancelled items
@@ -148,7 +158,7 @@ func Parallel(n, workers int, fn func(i int)) {
 					fn(i)
 				}
 			}
-		}()
+		}(g)
 	}
 	wg.Wait()
 	pc.rethrow()
@@ -183,6 +193,8 @@ func ParallelChunked(n, workers int, fn func(worker, start, end int)) {
 			defer wg.Done()
 			defer pc.capture()
 			if start < end && !pc.stop.Load() {
+				sp := rec.StartLinked("ring.parallel.worker").SetTid(g + 1)
+				defer sp.End()
 				if rec != nil {
 					t0 := time.Now()
 					fn(g, start, end)

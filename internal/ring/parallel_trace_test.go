@@ -1,0 +1,103 @@
+package ring
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestParallelWorkerSpanParentage stresses concurrent span-tree
+// construction: for worker counts {1, 2, GOMAXPROCS}, every
+// ring.parallel.worker span must be parented to the op span that was
+// current when the fan-out was submitted — across goroutines — and a
+// Reset mid-flight must leave no orphaned parent links. Run with -race.
+func TestParallelWorkerSpanParentage(t *testing.T) {
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			rec := obs.NewRecorder()
+			SetTaskRecorder(rec)
+			defer SetTaskRecorder(nil)
+
+			const rounds = 50
+			opIDs := make(map[uint64]bool, rounds)
+			for round := 0; round < rounds; round++ {
+				op := rec.StartOp("ckks.Mult")
+				opIDs[op.ID()] = true
+				var hits sync.Map
+				Parallel(64, workers, func(i int) { hits.Store(i, true) })
+				ParallelChunked(64, workers, func(w, start, end int) {})
+				op.End()
+				n := 0
+				hits.Range(func(_, _ any) bool { n++; return true })
+				if n != 64 {
+					t.Fatalf("round %d: %d/64 items ran", round, n)
+				}
+			}
+
+			snap := rec.Snapshot()
+			workerSpans := snap.SpansNamed("ring.parallel.worker")
+			if workers == 1 {
+				// The serial path never spawns pool goroutines, so the traced
+				// schedule gains no worker spans at all.
+				if len(workerSpans) != 0 {
+					t.Fatalf("serial path recorded %d worker spans, want 0", len(workerSpans))
+				}
+				return
+			}
+			if len(workerSpans) == 0 {
+				t.Fatal("no worker spans recorded")
+			}
+			for _, sp := range workerSpans {
+				if !opIDs[sp.Parent] {
+					t.Fatalf("worker span parent %d is not an op span", sp.Parent)
+				}
+				if sp.Tid < 1 || sp.Tid > workers {
+					t.Fatalf("worker span tid %d outside [1,%d]", sp.Tid, workers)
+				}
+				if sp.Counters != nil {
+					t.Fatalf("worker span captured counter deltas (should be lite)")
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSpansNoOrphansAfterReset exercises Reset racing a live
+// fan-out: spans that finish after the Reset must re-root (Parent == 0)
+// rather than reference ids discarded with the old epoch.
+func TestParallelSpansNoOrphansAfterReset(t *testing.T) {
+	rec := obs.NewRecorder()
+	SetTaskRecorder(rec)
+	defer SetTaskRecorder(nil)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	release := make(chan struct{})
+	op := rec.StartOp("ckks.Mult")
+	go func() {
+		defer wg.Done()
+		Parallel(32, 2, func(i int) {
+			if i == 0 {
+				<-release // hold the fan-out open across the Reset
+			}
+		})
+	}()
+	rec.Reset()
+	close(release)
+	wg.Wait()
+	op.End()
+
+	snap := rec.Snapshot()
+	live := make(map[uint64]bool, len(snap.Spans))
+	for _, sp := range snap.Spans {
+		live[sp.ID] = true
+	}
+	for _, sp := range snap.Spans {
+		if sp.Parent != 0 && !live[sp.Parent] {
+			t.Fatalf("span %q orphaned: parent %d not retained after Reset", sp.Name, sp.Parent)
+		}
+	}
+}

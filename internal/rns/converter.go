@@ -269,6 +269,8 @@ func (c *Converter) ModUpDigit(levelQ, start, end int, aQ *ring.Poly, out PolyQP
 	if start < 0 || end <= start || end > levelQ+1 {
 		panic(fmt.Sprintf("rns: ModUpDigit digit range (got=[%d,%d), want within level %d)", start, end, levelQ))
 	}
+	sp := c.rec.StartLinked("rns.ModUpDigit")
+	defer sp.End()
 	n := c.RingQ.N
 	digitModuli := c.RingQ.Moduli[start:end]
 
@@ -345,6 +347,8 @@ func (c *Converter) ModDown(levelQ int, a PolyQP, out *ring.Poly, workers int) {
 	if !a.Q.IsNTT || !a.P.IsNTT {
 		panic("rns: ModDown input domain (got=coefficient form, want=NTT)")
 	}
+	sp := c.rec.StartLinked("rns.ModDown")
+	defer sp.End()
 	n := c.RingQ.N
 	kP := len(c.RingP.Moduli)
 
@@ -423,6 +427,8 @@ func (c *Converter) Rescale(levelQ int, a *ring.Poly, out *ring.Poly, workers in
 	if levelQ < 1 {
 		panic(fmt.Sprintf("rns: Rescale level (got=%d, want>=1)", levelQ))
 	}
+	sp := c.rec.StartLinked("rns.Rescale")
+	defer sp.End()
 	n := c.RingQ.N
 	ql := c.RingQ.Moduli[levelQ]
 	half := ql >> 1

@@ -193,53 +193,85 @@ func (c Cost) minusCtWrite(p Params, limbs int) Cost {
 	return c
 }
 
-// Mult is the full Table 2 Mult: tensor product, relinearization
-// (KeySwitch on d2), recombination, and Rescale — or, with the ModDown
-// merge of §3.2, a single ModDown that also performs the Rescale.
-func (c Ctx) Mult(l int) Cost {
+// MulRelin is the rescale-free multiply: tensor product, relinearization
+// (KeySwitch on d2), and the recombination adds, leaving the result at
+// the doubled scale. This is the op the functional evaluator exposes as
+// MulRelin/Square and the unit the cost ledger attributes per span; Mult
+// composes it with two Rescales (or the merged ModDown of §3.2).
+func (c Ctx) MulRelin(l int) Cost {
 	p := c.P
 
 	// Tensor: d0 = a0·b0, d1 = a0·b1 + a1·b0, d2 = a1·b1.
 	cost := p.pointwise(l, 4, 1)
 	cost = cost.Plus(p.readCt(4 * l)).Plus(p.writeCt(3 * l))
 
-	// Relinearize d2 (Algorithm 3), minus the ModDowns which depend on
-	// the merge option.
+	// Relinearize d2 (Algorithm 3).
 	cost = cost.Plus(c.Decomp(l))
 	cost = cost.Plus(c.modUpAll(l))
 	cost = cost.Plus(c.KSKInnerProd(l, false))
 
 	dropResident := c.Opts.LimbReorder
-	if c.Opts.ModDownMerge {
-		// Single ModDown by P·q_ℓ per half: the Add is lifted above the
-		// ModDown (PModUp costs one scalar multiply per coefficient) and
-		// the separate Rescale disappears (Figure 4(c)).
-		cost = cost.Plus(p.pointwise(2*l, 1, 0)) // PModUp of (d0, d1)
-		cost = cost.Plus(p.pointwise(2*(l+p.Alpha()), 0, 1))
-		cost = cost.Plus(c.ModDownPoly(l, p.Alpha()+1, dropResident).Times(2))
-		// Recombination add traffic (reads of d0/d1) folds into the
-		// ModDown combine pass.
-		cost = cost.Plus(p.readCt(2 * l))
-	} else {
-		cost = cost.Plus(c.ModDownPoly(l, p.Alpha(), dropResident).Times(2))
-		// (d0 + p0, d1 + p1)
-		cost = cost.Plus(p.pointwise(2*l, 0, 1))
-		cost = cost.Plus(p.readCt(4 * l)).Plus(p.writeCt(2 * l))
-		// Rescale both halves.
-		cost = cost.Plus(c.RescalePoly(l).Times(2))
-	}
+	cost = cost.Plus(c.ModDownPoly(l, p.Alpha(), dropResident).Times(2))
+	// (d0 + p0, d1 + p1)
+	cost = cost.Plus(p.pointwise(2*l, 0, 1))
+	cost = cost.Plus(p.readCt(4 * l)).Plus(p.writeCt(2 * l))
 	if dropResident {
 		cost = cost.minusCtWrite(p, 2*p.Alpha())
 	}
 
 	if c.Opts.CacheO1 {
-		// Fusions: tensor d2 → Decomp → iNTT (4ℓ), ModDown outputs → adds
-		// (4ℓ), adds → Rescale reads (4ℓ when unmerged).
+		// Fusions internal to the op: tensor d2 → Decomp → iNTT (4ℓ) and
+		// ModDown outputs → adds (4ℓ).
 		cost = cost.minusCtWrite(p, 2*l).minusCtRead(p, 2*l)
-		if !c.Opts.ModDownMerge {
-			cost = cost.minusCtWrite(p, 2*l).minusCtRead(p, 2*l)
+		cost = cost.minusCtWrite(p, 2*l).minusCtRead(p, 2*l)
+	}
+	return cost
+}
+
+// Mult is the full Table 2 Mult: tensor product, relinearization
+// (KeySwitch on d2), recombination, and Rescale — or, with the ModDown
+// merge of §3.2, a single ModDown that also performs the Rescale.
+func (c Ctx) Mult(l int) Cost {
+	p := c.P
+	dropResident := c.Opts.LimbReorder
+
+	if !c.Opts.ModDownMerge {
+		cost := c.MulRelin(l)
+		// Rescale both halves.
+		cost = cost.Plus(c.RescalePoly(l).Times(2))
+		if c.Opts.CacheO1 {
+			// Cross-op fusion: the Rescale reads the recombination adds
+			// straight from cache (2ℓ), only available when the Rescale
+			// immediately consumes them.
 			cost = cost.minusCtWrite(p, l).minusCtRead(p, l)
 		}
+		return cost
+	}
+
+	// Tensor: d0 = a0·b0, d1 = a0·b1 + a1·b0, d2 = a1·b1.
+	cost := p.pointwise(l, 4, 1)
+	cost = cost.Plus(p.readCt(4 * l)).Plus(p.writeCt(3 * l))
+
+	// Relinearize d2 (Algorithm 3).
+	cost = cost.Plus(c.Decomp(l))
+	cost = cost.Plus(c.modUpAll(l))
+	cost = cost.Plus(c.KSKInnerProd(l, false))
+
+	// Single ModDown by P·q_ℓ per half: the Add is lifted above the
+	// ModDown (PModUp costs one scalar multiply per coefficient) and
+	// the separate Rescale disappears (Figure 4(c)).
+	cost = cost.Plus(p.pointwise(2*l, 1, 0)) // PModUp of (d0, d1)
+	cost = cost.Plus(p.pointwise(2*(l+p.Alpha()), 0, 1))
+	cost = cost.Plus(c.ModDownPoly(l, p.Alpha()+1, dropResident).Times(2))
+	// Recombination add traffic (reads of d0/d1) folds into the
+	// ModDown combine pass.
+	cost = cost.Plus(p.readCt(2 * l))
+	if dropResident {
+		cost = cost.minusCtWrite(p, 2*p.Alpha())
+	}
+	if c.Opts.CacheO1 {
+		// Fusion: tensor d2 → Decomp → iNTT (4ℓ).
+		cost = cost.minusCtWrite(p, 2*l).minusCtRead(p, 2*l)
 	}
 	return cost
 }

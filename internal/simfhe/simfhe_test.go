@@ -466,3 +466,32 @@ func TestSparseSlotValidation(t *testing.T) {
 		t.Error("FFTIter > logSlots should fail validation")
 	}
 }
+
+// TestMulRelinComposesToMult pins the MulRelin extraction: across opt
+// sets (merge excluded — the merged ModDown is inseparable) and levels,
+// Mult must equal MulRelin + 2×RescalePoly up to the documented CacheO1
+// cross-op fusion credit.
+func TestMulRelinComposesToMult(t *testing.T) {
+	p := Baseline()
+	for _, tc := range []struct {
+		name string
+		opts OptSet
+	}{
+		{"no_opts", NoOpts()},
+		{"caching", CachingOpts()},
+	} {
+		c := NewCtx(p, MB(2), tc.opts)
+		if c.Opts.ModDownMerge {
+			t.Fatalf("%s: opt set unexpectedly enables ModDownMerge", tc.name)
+		}
+		for _, l := range []int{2, 8, p.L} {
+			want := c.MulRelin(l).Plus(c.RescalePoly(l).Times(2))
+			if c.Opts.CacheO1 {
+				want = want.minusCtWrite(p, l).minusCtRead(p, l)
+			}
+			if got := c.Mult(l); got != want {
+				t.Errorf("%s l=%d: Mult=%+v, MulRelin+2*Rescale=%+v", tc.name, l, got, want)
+			}
+		}
+	}
+}
