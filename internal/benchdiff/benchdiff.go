@@ -59,6 +59,17 @@ type keysReport struct {
 	} `json:"points"`
 }
 
+// fhedReport mirrors the fhed load-generator JSON (subset): per-op
+// latency percentiles plus the sustained-throughput roll-up.
+type fhedReport struct {
+	Ops []struct {
+		Name  string  `json:"name"`
+		P50Us float64 `json:"p50_us"`
+		P95Us float64 `json:"p95_us"`
+	} `json:"ops"`
+	MaxSustainedRPS float64 `json:"max_sustained_rps"`
+}
+
 // parallelReport mirrors the simfhe bench parallel JSON (subset).
 type parallelReport struct {
 	Workloads []struct {
@@ -79,6 +90,10 @@ type parallelReport struct {
 //	workload/<name>/w<N>  parallel suite, ns/op at N workers
 //	ntt/<name>            ntt suite, fused kernel ns/op
 //	keys/<name>           keys suite, ns/op at one vault budget point
+//	fhed/<op>/p50|p95     fhed load run, end-to-end op latency in ns
+//	fhed/sustained        fhed load run, ns per request at peak RPS
+//	                      (inverse of max_sustained_rps, so "bigger is
+//	                      worse" holds for every metric in the map)
 //
 // A report that matches neither schema (no kernels, pipelines or
 // workloads) is an error — comparing empty maps would vacuously pass.
@@ -117,6 +132,21 @@ func Flatten(data []byte) (map[string]float64, error) {
 			if p.NsPerOp > 0 {
 				out["keys/"+p.Name] = p.NsPerOp
 			}
+		}
+	}
+
+	var fhed fhedReport
+	if err := json.Unmarshal(data, &fhed); err == nil {
+		for _, op := range fhed.Ops {
+			if op.P50Us > 0 {
+				out["fhed/"+op.Name+"/p50"] = op.P50Us * 1e3
+			}
+			if op.P95Us > 0 {
+				out["fhed/"+op.Name+"/p95"] = op.P95Us * 1e3
+			}
+		}
+		if fhed.MaxSustainedRPS > 0 {
+			out["fhed/sustained"] = 1e9 / fhed.MaxSustainedRPS
 		}
 	}
 

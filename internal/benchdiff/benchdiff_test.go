@@ -118,10 +118,39 @@ func TestFlattenKeys(t *testing.T) {
 	}
 }
 
+const syntheticFhed = `{
+  "schema": "fhed-load/v1",
+  "ops": [
+    {"name": "rotate", "count": 500, "p50_us": 20000, "p95_us": 45000, "p99_us": 60000, "max_us": 80000}
+  ],
+  "max_sustained_rps": 50,
+  "saturation": {"concurrency": 16, "reject_rate": 0.3}
+}`
+
+func TestFlattenFhed(t *testing.T) {
+	m, err := Flatten([]byte(syntheticFhed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"fhed/rotate/p50": 20000 * 1e3,
+		"fhed/rotate/p95": 45000 * 1e3,
+		"fhed/sustained":  1e9 / 50,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("flattened %d metrics, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("metric %s = %v, want %v", k, m[k], v)
+		}
+	}
+}
+
 func TestFlattenCommittedBaselines(t *testing.T) {
 	// The committed baselines at the repo root must stay parseable: CI
 	// compares fresh runs against them.
-	for _, path := range []string{"../../BENCH_extend.json", "../../BENCH_parallel.json", "../../BENCH_ntt.json", "../../BENCH_keys.json"} {
+	for _, path := range []string{"../../BENCH_extend.json", "../../BENCH_parallel.json", "../../BENCH_ntt.json", "../../BENCH_keys.json", "../../BENCH_fhed.json"} {
 		m, err := FlattenFile(path)
 		if err != nil {
 			t.Fatalf("%s: %v", path, err)

@@ -1,10 +1,12 @@
 package bootstrap
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/ckks"
+	"repro/internal/fherr"
 	"repro/internal/memtrace"
 	"repro/internal/obs"
 	"repro/internal/prng"
@@ -161,6 +163,12 @@ func (b *Bootstrapper) SetTracer(t *memtrace.Tracer) { b.ev.SetTracer(t) }
 // for every worker count.
 func (b *Bootstrapper) SetWorkers(n int) { b.ev.SetWorkers(n) }
 
+// SetOpContext binds a cancellation context to the underlying evaluator
+// (see ckks.Evaluator.SetOpContext): a deadline expiring mid-bootstrap
+// aborts at the next op boundary or fan-out unit, and BootstrapE returns
+// a typed fherr.ErrCanceled. nil disables cancellation checks.
+func (b *Bootstrapper) SetOpContext(ctx context.Context) { b.ev.SetOpContext(ctx) }
+
 // SetKeyBudget bounds the bytes of demand-materialized switching-key
 // material the underlying evaluator keeps resident (only meaningful for
 // a bootstrapper built with compressKeys=true; see
@@ -191,7 +199,10 @@ func (b *Bootstrapper) modRaise(ct *ckks.Ciphertext) *ckks.Ciphertext {
 		tmp := inP.CopyNew()
 		rQ0.INTTPoly(tmp)
 		workers := b.ev.Workers()
-		ring.ParallelChunked(p.N(), workers, func(_, start, end int) {
+		// Bound to the evaluator's op context so a request deadline stops
+		// the coefficient lift mid-raise; the error panics into
+		// BootstrapE's recover shim as a typed fherr.ErrCanceled.
+		if err := ring.ParallelChunkedCtx(b.ev.OpContext(), p.N(), workers, func(_, start, end int) {
 			for j := start; j < end; j++ {
 				v := tmp.Coeffs[0][j]
 				for i := 0; i <= L; i++ {
@@ -204,7 +215,9 @@ func (b *Bootstrapper) modRaise(ct *ckks.Ciphertext) *ckks.Ciphertext {
 					}
 				}
 			}
-		})
+		}); err != nil {
+			panic(fherr.Errorf(fherr.ErrCanceled, "bootstrap: modRaise canceled (%v)", err))
+		}
 		outP.IsNTT = false
 		rQL.NTTPolyParallel(outP, workers)
 	}

@@ -90,6 +90,7 @@ func (ev *Evaluator) checked(op string, ins []*Ciphertext, core func() *Cipherte
 		}
 	}()
 	defer fherr.RecoverTo(&err)
+	ev.checkInterrupt()
 	out = core()
 	ev.finish("ckks."+op, out)
 	return out, nil

@@ -1,0 +1,126 @@
+package ckks
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/fherr"
+	"repro/internal/prng"
+)
+
+func ctxTestSetup(t *testing.T) (*Parameters, *Evaluator, *Ciphertext) {
+	t.Helper()
+	params, err := NewParameters(ParametersLiteral{
+		LogN: 11, LogQ: []int{50, 40, 40, 40}, LogP: []int{50, 50}, LogScale: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seed [prng.SeedSize]byte
+	copy(seed[:], "ckks op-context deterministic!!!")
+	src := prng.NewSource(seed)
+	kg := NewKeyGenerator(params, src)
+	sk := kg.GenSecretKey()
+	rlk := kg.GenRelinearizationKey(sk, false)
+	gks := kg.GenRotationKeys([]int{1, 2, 4}, sk, false)
+	ev := NewEvaluator(params, &EvaluationKeySet{Rlk: rlk, Galois: gks})
+	enc := NewEncoder(params)
+	encSk := NewSecretKeyEncryptor(params, sk, src)
+	msg := make([]complex128, params.Slots())
+	for i := range msg {
+		msg[i] = complex(float64(i%13)*0.25-1, 0)
+	}
+	return params, ev, encSk.Encrypt(enc.Encode(msg))
+}
+
+// TestOpContextCancelTyped: a pre-cancelled context makes every checked
+// op return fherr.ErrCanceled without starting work, and clearing the
+// context restores normal operation — the evaluator survives
+// cancellation intact.
+func TestOpContextCancelTyped(t *testing.T) {
+	_, ev, ct := ctxTestSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ev.SetOpContext(ctx)
+	if _, err := ev.MulE(ct, ct); !errors.Is(err, fherr.ErrCanceled) {
+		t.Fatalf("MulE under cancelled ctx: err = %v, want ErrCanceled", err)
+	}
+	if _, err := ev.RotateE(ct, 1); !errors.Is(err, fherr.ErrCanceled) {
+		t.Fatalf("RotateE under cancelled ctx: err = %v, want ErrCanceled", err)
+	}
+	ev.SetOpContext(nil)
+	if _, err := ev.MulE(ct, ct); err != nil {
+		t.Fatalf("MulE after clearing ctx: %v", err)
+	}
+}
+
+// TestOpContextDeadlineStopsWork: a deadline expiring mid-run aborts a
+// long op sequence early with a typed error, within a latency bound far
+// below the sequence's full runtime, and the result of a subsequent
+// unbound run is bit-identical to a never-cancelled evaluator's.
+func TestOpContextDeadlineStopsWork(t *testing.T) {
+	_, ev, ct := ctxTestSetup(t)
+
+	// Reference: how long does the full sequence take, and what does it
+	// produce? (Deterministic, so the post-cancel rerun must match.)
+	run := func() (*Ciphertext, error) {
+		out := ct
+		var err error
+		for i := 0; i < 40; i++ {
+			out, err = ev.RotateE(out, 1)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	t0 := time.Now()
+	want, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(t0)
+
+	// Cancelled run: bind a deadline that expires a fraction in.
+	ctx, cancel := context.WithTimeout(context.Background(), full/8)
+	defer cancel()
+	ev.SetOpContext(ctx)
+	t0 = time.Now()
+	_, err = run()
+	elapsed := time.Since(t0)
+	if !errors.Is(err, fherr.ErrCanceled) {
+		t.Fatalf("deadline run: err = %v, want ErrCanceled", err)
+	}
+	if elapsed > full {
+		t.Errorf("cancellation took %v, full sequence only %v — deadline did not stop work", elapsed, full)
+	}
+
+	// The evaluator must be fully reusable and bit-identical afterwards.
+	ev.SetOpContext(nil)
+	got, err := run()
+	if err != nil {
+		t.Fatalf("rerun after cancellation: %v", err)
+	}
+	if !got.C0.Equal(want.C0) || !got.C1.Equal(want.C1) {
+		t.Error("post-cancellation rerun diverges from reference — evaluator state corrupted")
+	}
+}
+
+// TestOpContextParallelFanOut: cancellation works on the parallel path
+// too (fan-outs route through ring.ParallelCtx).
+func TestOpContextParallelFanOut(t *testing.T) {
+	_, ev, ct := ctxTestSetup(t)
+	ev.SetWorkers(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ev.SetOpContext(ctx)
+	if _, err := ev.RotateHoistedE(ct, []int{1, 2, 4}); !errors.Is(err, fherr.ErrCanceled) {
+		t.Fatalf("RotateHoistedE under cancelled ctx: err = %v, want ErrCanceled", err)
+	}
+	ev.SetOpContext(nil)
+	if _, err := ev.RotateHoistedE(ct, []int{1, 2, 4}); err != nil {
+		t.Fatalf("RotateHoistedE after clearing ctx: %v", err)
+	}
+}

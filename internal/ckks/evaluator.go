@@ -1,6 +1,7 @@
 package ckks
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -65,6 +66,12 @@ type Evaluator struct {
 	// halves for seed-compressed switching keys (see keyvault.go). Always
 	// non-nil; unlimited budget by default (WithKeyBudget/SetKeyBudget).
 	vault *keyVault
+
+	// opCtx, when non-nil, is the cancellation context bound to
+	// subsequent operations (see SetOpContext in context.go): op
+	// boundaries and fan-out units check it and abort with a typed
+	// fherr.ErrCanceled once it is done.
+	opCtx context.Context
 }
 
 // EvaluatorOption configures an Evaluator at construction time.
@@ -195,6 +202,10 @@ func (ev *Evaluator) CostModel() obs.CostModel { return ev.model }
 // prefix and doubles as the ledger key. Returns nil — and skips all
 // annotation work — when no recorder is attached.
 func (ev *Evaluator) startOp(kind string, level int, scale float64, fanout int) *obs.Span {
+	// Every instrumented op boundary doubles as a cancellation point:
+	// with a bound op context, a deadline that expired between ops stops
+	// the next one before it starts (see context.go).
+	ev.checkInterrupt()
 	if ev.rec == nil {
 		return nil
 	}
@@ -510,7 +521,7 @@ func (ev *Evaluator) decomposeModUp(level int, x *ring.Poly, workers int) []rns.
 		digits[j] = conv.GetPolyQP(level)
 	}
 	outer, inner := splitWorkers(workers, beta)
-	ring.Parallel(beta, outer, func(j int) {
+	ev.fanOut(beta, outer, func(j int) {
 		start := j * alpha
 		end := min(start+alpha, level+1)
 		conv.ModUpDigit(level, start, end, x, digits[j], inner)
@@ -571,7 +582,7 @@ func (ev *Evaluator) kskInnerProduct(level int, digits []rns.PolyQP, swk *Switch
 	// eventual writeback is the model's 2·raised ciphertext writes. Each
 	// digit iteration reads two key limbs (class key) and the shared raised
 	// digit once; the second product's digit reuse is register-resident.
-	ring.Parallel(nQ+nP, workers, func(i int) {
+	ev.fanOut(nQ+nP, workers, func(i int) {
 		if i < nQ {
 			s := rQ.SubRings[i]
 			uQ, vQ := u.Q.Coeffs[i][:n], v.Q.Coeffs[i][:n]
@@ -824,7 +835,7 @@ func (ev *Evaluator) RotateHoisted(ct *Ciphertext, steps []int) map[int]*Ciphert
 
 	outer, inner := splitWorkers(ev.workers, len(jobs))
 	results := make([]*Ciphertext, len(jobs))
-	ring.Parallel(len(jobs), outer, func(idx int) {
+	ev.fanOut(len(jobs), outer, func(idx int) {
 		j := jobs[idx]
 		results[idx] = ev.rotateFromDigits(level, ct, digits, j.g, j.gk, inner)
 	})

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"repro/internal/memtrace"
-	"repro/internal/ring"
 	"repro/internal/rns"
 )
 
@@ -271,7 +270,7 @@ func (ev *Evaluator) EvalLinearTransformHoistedModDown(ct *Ciphertext, lt *Linea
 	accUs := make([]rns.PolyQP, outer)
 	accVs := make([]rns.PolyQP, outer)
 	used := make([]bool, outer)
-	ring.ParallelChunked(len(steps), outer, func(w, start, end int) {
+	ev.fanOutChunked(len(steps), outer, func(w, start, end int) {
 		accU := ev.getZeroPolyQP(level)
 		accV := ev.getZeroPolyQP(level)
 		for idx := start; idx < end; idx++ {

@@ -50,12 +50,37 @@ var (
 	// ErrPrecisionLoss: the bootstrap precision guard measured a
 	// worst-slot precision below the configured floor.
 	ErrPrecisionLoss = errors.New("fherr: precision below floor")
+	// ErrCanceled: the operation was cut short by a context deadline or
+	// cancellation (see ckks.Evaluator.SetOpContext) — the work is
+	// incomplete but the evaluator's state is intact and reusable.
+	ErrCanceled = errors.New("fherr: operation canceled")
 	// ErrUsage: a CLI was invoked with bad flags or arguments.
 	ErrUsage = errors.New("fherr: usage")
 	// ErrInternal: an invariant violation that does not map to any
 	// caller-visible precondition — a bug, not bad input.
 	ErrInternal = errors.New("fherr: internal error")
 )
+
+// Sentinels returns the complete name → sentinel table. The HTTPStatus
+// exhaustiveness test cross-checks this list against the package source,
+// so adding a sentinel without registering it here (and giving it an
+// HTTP mapping) fails the build's tests rather than silently mapping to
+// 500.
+func Sentinels() map[string]error {
+	return map[string]error{
+		"ErrLevelMismatch": ErrLevelMismatch,
+		"ErrScaleMismatch": ErrScaleMismatch,
+		"ErrNTTDomain":     ErrNTTDomain,
+		"ErrDegree":        ErrDegree,
+		"ErrKeyMissing":    ErrKeyMissing,
+		"ErrLimbLength":    ErrLimbLength,
+		"ErrChecksum":      ErrChecksum,
+		"ErrPrecisionLoss": ErrPrecisionLoss,
+		"ErrCanceled":      ErrCanceled,
+		"ErrUsage":         ErrUsage,
+		"ErrInternal":      ErrInternal,
+	}
+}
 
 // Error pairs a sentinel kind with a human-readable message. errors.Is
 // matches the kind; Error() returns only the message.
@@ -104,6 +129,8 @@ var classifier = []struct {
 	phrase string
 	kind   error
 }{
+	{"canceled", ErrCanceled},
+	{"context deadline", ErrCanceled},
 	{"scale mismatch", ErrScaleMismatch},
 	{"checksum", ErrChecksum},
 	{"precision", ErrPrecisionLoss},
@@ -226,6 +253,9 @@ func ExitCode(err error) int {
 		errors.Is(err, ErrChecksum), errors.Is(err, ErrPrecisionLoss):
 		return ExitValidation
 	default:
+		// ErrCanceled lands here on purpose: a deadline cut the run
+		// short, which for a CLI is an environment condition (code 1),
+		// not malformed input or a bug.
 		return ExitFailure
 	}
 }

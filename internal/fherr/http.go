@@ -1,0 +1,66 @@
+package fherr
+
+import (
+	"errors"
+	"net/http"
+)
+
+// HTTP status policy: the single table mapping the error taxonomy onto
+// HTTP status codes, used by the fhed evaluation server (internal/server)
+// so every typed failure surfaces to clients with a stable, documented
+// status. The split mirrors the CLI exit-code policy:
+//
+//   - 400: the request itself is malformed (ErrUsage).
+//   - 412: a precondition on server-side state fails — the evaluation
+//     key the operation needs was never registered (ErrKeyMissing).
+//   - 422: the request is well-formed but the ciphertext payload cannot
+//     be processed — level/scale/domain/degree/limb violations, checksum
+//     mismatches, or a decrypt-compare probe measuring precision below
+//     the floor. Retrying the same payload cannot succeed.
+//   - 504: the operation was cancelled by its deadline before
+//     completing (ErrCanceled). Retrying with a longer deadline (or at
+//     lower load) can succeed.
+//   - 500: invariant violations and recovered panics (ErrInternal) — a
+//     server bug, not a property of the request.
+//
+// Admission-control statuses (429 queue full, 503 draining) are not
+// error-taxonomy concerns: they are emitted by the server's admission
+// layer before an operation ever starts, and carry Retry-After headers
+// there.
+const (
+	// StatusClientClosedRequest is nginx's non-standard 499: the client
+	// went away before the operation finished, so no response will be
+	// read; the server uses it for log/metric classification only.
+	StatusClientClosedRequest = 499
+)
+
+// HTTPStatus maps a typed error onto the status-code policy above. nil
+// maps to 200. Errors outside the taxonomy (I/O failures, wrapped
+// context errors that never crossed an API boundary) map to 500, the
+// "tell the operator" bucket.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrUsage):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrKeyMissing):
+		return http.StatusPreconditionFailed
+	case errors.Is(err, ErrLevelMismatch),
+		errors.Is(err, ErrScaleMismatch),
+		errors.Is(err, ErrNTTDomain),
+		errors.Is(err, ErrDegree),
+		errors.Is(err, ErrLimbLength),
+		errors.Is(err, ErrChecksum),
+		errors.Is(err, ErrPrecisionLoss):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrCanceled):
+		return http.StatusGatewayTimeout
+	default:
+		// ErrInternal and everything unclassified. Deliberately the only
+		// way to produce a 500: the exhaustiveness test walks Sentinels()
+		// and fails if any sentinel other than ErrInternal lands here, so
+		// a newly added sentinel must be given an explicit mapping.
+		return http.StatusInternalServerError
+	}
+}

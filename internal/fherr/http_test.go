@@ -1,0 +1,111 @@
+package fherr
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"regexp"
+	"testing"
+)
+
+// TestHTTPStatusTable pins the documented mapping.
+func TestHTTPStatusTable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, http.StatusOK},
+		{ErrUsage, http.StatusBadRequest},
+		{ErrKeyMissing, http.StatusPreconditionFailed},
+		{ErrLevelMismatch, http.StatusUnprocessableEntity},
+		{ErrScaleMismatch, http.StatusUnprocessableEntity},
+		{ErrNTTDomain, http.StatusUnprocessableEntity},
+		{ErrDegree, http.StatusUnprocessableEntity},
+		{ErrLimbLength, http.StatusUnprocessableEntity},
+		{ErrChecksum, http.StatusUnprocessableEntity},
+		{ErrPrecisionLoss, http.StatusUnprocessableEntity},
+		{ErrCanceled, http.StatusGatewayTimeout},
+		{ErrInternal, http.StatusInternalServerError},
+		{errors.New("untyped"), http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := HTTPStatus(c.err); got != c.want {
+			t.Errorf("HTTPStatus(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+	// Wrapped sentinels must map identically to bare ones.
+	if got := HTTPStatus(Errorf(ErrChecksum, "wrapped")); got != http.StatusUnprocessableEntity {
+		t.Errorf("wrapped checksum = %d, want 422", got)
+	}
+	if got := HTTPStatus(fmt.Errorf("outer: %w", ErrCanceled)); got != http.StatusGatewayTimeout {
+		t.Errorf("fmt-wrapped canceled = %d, want 504", got)
+	}
+}
+
+// TestHTTPStatusExhaustive is the guard the satellite task asks for: a
+// sentinel added to fherr.go but not to Sentinels(), or registered but
+// left without an explicit HTTP mapping, fails here instead of silently
+// mapping to 500 in production.
+func TestHTTPStatusExhaustive(t *testing.T) {
+	src, err := os.ReadFile("fherr.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every exported sentinel declaration in the package source…
+	decl := regexp.MustCompile(`(Err[A-Za-z0-9]+)\s*=\s*errors\.New\(`)
+	declared := map[string]bool{}
+	for _, m := range decl.FindAllStringSubmatch(string(src), -1) {
+		declared[m[1]] = true
+	}
+	if len(declared) == 0 {
+		t.Fatal("no sentinel declarations found — did fherr.go move?")
+	}
+	reg := Sentinels()
+	// …must be registered in Sentinels()…
+	for name := range declared {
+		if _, ok := reg[name]; !ok {
+			t.Errorf("sentinel %s declared in fherr.go but missing from Sentinels()", name)
+		}
+	}
+	for name := range reg {
+		if !declared[name] {
+			t.Errorf("Sentinels() lists %s, which is not declared in fherr.go", name)
+		}
+	}
+	// …and must map to a non-500 status, except ErrInternal which is the
+	// one sentinel allowed to be a 500.
+	for name, sentinel := range reg {
+		status := HTTPStatus(sentinel)
+		if name == "ErrInternal" {
+			if status != http.StatusInternalServerError {
+				t.Errorf("ErrInternal maps to %d, want 500", status)
+			}
+			continue
+		}
+		if status == http.StatusInternalServerError {
+			t.Errorf("sentinel %s has no explicit HTTP mapping (falls through to 500)", name)
+		}
+		if status < 400 || status > 599 {
+			t.Errorf("sentinel %s maps to %d, outside the error range", name, status)
+		}
+	}
+}
+
+func TestClassifyCanceled(t *testing.T) {
+	for _, msg := range []string{
+		"context canceled",
+		"context deadline exceeded",
+		"ckks: op canceled (context deadline exceeded)",
+	} {
+		if got := Classify(msg); !errors.Is(got, ErrCanceled) {
+			t.Errorf("Classify(%q) = %v, want ErrCanceled", msg, got)
+		}
+	}
+}
+
+func TestExitCodeCanceled(t *testing.T) {
+	if got := ExitCode(Errorf(ErrCanceled, "deadline")); got != ExitFailure {
+		t.Errorf("ExitCode(ErrCanceled) = %d, want %d", got, ExitFailure)
+	}
+}

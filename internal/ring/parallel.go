@@ -1,6 +1,7 @@
 package ring
 
 import (
+	"context"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -104,6 +105,13 @@ func (pc *panicCollector) rethrow() {
 	}
 }
 
+// ctxDone reports whether a (possibly nil) context has been cancelled.
+// A nil context never cancels, so the pre-existing Parallel callers pay
+// one nil comparison per item and nothing else.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
+}
+
 // Parallel runs fn(i) for every i in [0, n) using up to `workers`
 // goroutines (≤ 0 means GOMAXPROCS, 1 means the calling goroutine only).
 // Items are handed out dynamically, so mildly uneven item costs still
@@ -116,18 +124,39 @@ func (pc *panicCollector) rethrow() {
 // (effective worker count 1) fn's panic propagates unwrapped, already on
 // the caller's goroutine; fherr.FromPanic classifies both shapes.
 func Parallel(n, workers int, fn func(i int)) {
+	_ = ParallelCtx(nil, n, workers, fn)
+}
+
+// ParallelCtx is Parallel with a cancellation point between items: every
+// worker (and the serial path) checks ctx.Err() before starting each
+// item, so a request deadline expiring mid-fan-out stops the remaining
+// work after at most one item's latency instead of running the whole
+// range. Items already started are never interrupted — results are
+// either fully computed or not started, so a cancelled fan-out leaves no
+// half-written polynomial behind the caller could later read.
+//
+// Returns ctx.Err() when the fan-out was cut short, nil when every item
+// ran. A nil ctx never cancels and makes ParallelCtx equivalent to
+// Parallel. Panic semantics are identical to Parallel (a worker panic
+// takes precedence over cancellation: it re-raises rather than
+// returning).
+func ParallelCtx(ctx context.Context, n, workers int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	w := maxWorkers(n, workers)
 	if w == 1 {
 		for i := 0; i < n; i++ {
+			if ctxDone(ctx) {
+				return ctx.Err()
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	var pc panicCollector
+	var cancelled atomic.Bool
 	next := make(chan int, n)
 	for i := 0; i < n; i++ {
 		next <- i
@@ -150,6 +179,11 @@ func Parallel(n, workers int, fn func(i int)) {
 				if pc.stop.Load() {
 					continue // drain cancelled items
 				}
+				if ctxDone(ctx) {
+					cancelled.Store(true)
+					pc.stop.Store(true)
+					continue
+				}
 				if rec != nil {
 					t0 := time.Now()
 					fn(i)
@@ -162,6 +196,10 @@ func Parallel(n, workers int, fn func(i int)) {
 	}
 	wg.Wait()
 	pc.rethrow()
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // ParallelChunked partitions [0, n) into one contiguous chunk per worker
@@ -174,16 +212,31 @@ func Parallel(n, workers int, fn func(i int)) {
 // cancelled, all workers join, and the first panic is re-raised on the
 // caller's goroutine as *fherr.PanicError.
 func ParallelChunked(n, workers int, fn func(worker, start, end int)) {
+	_ = ParallelChunkedCtx(nil, n, workers, fn)
+}
+
+// ParallelChunkedCtx is ParallelChunked with a cancellation point before
+// each chunk: a worker whose chunk has not started when ctx is cancelled
+// skips it entirely. Because each worker owns exactly one contiguous
+// chunk, cancellation latency is bounded by one chunk's runtime; callers
+// needing finer granularity should split n across more workers or use
+// ParallelCtx. Returns ctx.Err() when at least one chunk was skipped,
+// nil when every chunk ran. A nil ctx never cancels.
+func ParallelChunkedCtx(ctx context.Context, n, workers int, fn func(worker, start, end int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	w := maxWorkers(n, workers)
 	if w == 1 {
+		if ctxDone(ctx) {
+			return ctx.Err()
+		}
 		fn(0, 0, n)
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	var pc panicCollector
+	var cancelled atomic.Bool
 	rec := taskRec.Load()
 	wg.Add(w)
 	for g := 0; g < w; g++ {
@@ -192,21 +245,31 @@ func ParallelChunked(n, workers int, fn func(worker, start, end int)) {
 		go func(g, start, end int) {
 			defer wg.Done()
 			defer pc.capture()
-			if start < end && !pc.stop.Load() {
-				sp := rec.StartLinked("ring.parallel.worker").SetTid(g + 1)
-				defer sp.End()
-				if rec != nil {
-					t0 := time.Now()
-					fn(g, start, end)
-					rec.ObserveDuration("ring.parallel.task", time.Since(t0))
-				} else {
-					fn(g, start, end)
-				}
+			if start >= end || pc.stop.Load() {
+				return
+			}
+			if ctxDone(ctx) {
+				cancelled.Store(true)
+				pc.stop.Store(true)
+				return
+			}
+			sp := rec.StartLinked("ring.parallel.worker").SetTid(g + 1)
+			defer sp.End()
+			if rec != nil {
+				t0 := time.Now()
+				fn(g, start, end)
+				rec.ObserveDuration("ring.parallel.task", time.Since(t0))
+			} else {
+				fn(g, start, end)
 			}
 		}(g, start, end)
 	}
 	wg.Wait()
 	pc.rethrow()
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // forEachLimb runs fn(i) for every limb index concurrently.

@@ -1,0 +1,104 @@
+package ring
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cancelLatency runs fn with a context cancelled as soon as the first
+// item starts and returns (error, items started, wall clock).
+func cancelLatency(t *testing.T, run func(ctx context.Context, onItem func()) error) (error, int64, time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	var once atomic.Bool
+	onItem := func() {
+		started.Add(1)
+		if once.CompareAndSwap(false, true) {
+			cancel()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t0 := time.Now()
+	err := run(ctx, onItem)
+	return err, started.Load(), time.Since(t0)
+}
+
+func TestParallelCtxCancellationLatency(t *testing.T) {
+	const items = 512
+	for _, workers := range []int{1, 4} {
+		name := map[int]string{1: "serial", 4: "parallel"}[workers]
+		t.Run(name, func(t *testing.T) {
+			err, started, elapsed := cancelLatency(t, func(ctx context.Context, onItem func()) error {
+				return ParallelCtx(ctx, items, workers, func(i int) { onItem() })
+			})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			// After the cancelling item, at most workers-1 items already
+			// in flight may still run; everything else must be skipped.
+			if started > int64(workers) {
+				t.Errorf("%d items ran after cancellation (workers=%d)", started, workers)
+			}
+			// The whole 512-item fan-out at 2ms/item would take ~1s at 1
+			// worker; cancellation must cut that to roughly one item.
+			if elapsed > 250*time.Millisecond {
+				t.Errorf("cancellation took %v, want well under the full fan-out time", elapsed)
+			}
+		})
+	}
+}
+
+func TestParallelChunkedCtxCancellationSkipsChunks(t *testing.T) {
+	// Pre-cancelled context: no chunk may start, and the error must
+	// surface on both the serial and parallel paths.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ParallelChunkedCtx(ctx, 128, workers, func(w, s, e int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: %d chunks ran on a cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestParallelCtxNilContextRunsEverything(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		if err := ParallelCtx(nil, 100, workers, func(i int) { ran.Add(1) }); err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if ran.Load() != 100 {
+			t.Errorf("workers=%d: ran %d items, want 100", workers, ran.Load())
+		}
+		if err := ParallelChunkedCtx(nil, 100, workers, func(w, s, e int) { ran.Add(int64(e - s)) }); err != nil {
+			t.Fatalf("workers=%d: unexpected chunked error %v", workers, err)
+		}
+	}
+}
+
+// TestParallelCtxPanicBeatsCancel: a worker panic must still re-raise as
+// *fherr.PanicError even when the context is cancelled concurrently —
+// faults outrank deadlines, so a poisoned ciphertext is never
+// misreported as a timeout.
+func TestParallelCtxPanicBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected the worker panic to propagate")
+		}
+	}()
+	_ = ParallelCtx(ctx, 16, 4, func(i int) {
+		cancel()
+		panic("ring: test panic (got=x, want=y)")
+	})
+}

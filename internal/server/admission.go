@@ -1,0 +1,117 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+
+	"repro/internal/fherr"
+	"repro/internal/obs"
+)
+
+// admission is the bounded two-stage queue in front of the evaluators:
+// a fixed pool of execution slots (concurrency limit — FHE ops are
+// CPU-bound, so this tracks cores) behind a bounded waiting room
+// (latency buffer). A request that finds the waiting room full is
+// rejected immediately with ErrQueueFull; the handler turns that into
+// 429 + Retry-After. A request whose deadline expires while waiting
+// leaves the room with a typed cancellation — it never occupies a slot.
+//
+// The split matters for the degradation shape under overload: the
+// waiting room bounds how much latency queueing can add (roomCap ×
+// typical-op-time), and beyond that the server sheds load in O(1)
+// instead of accumulating doomed work.
+type admission struct {
+	slots chan struct{} // execution permits, cap = max concurrent ops
+	room  chan struct{} // waiting permits, cap = max queued ops
+	rec   *obs.Recorder
+
+	waiting  atomic.Int64
+	inflight atomic.Int64
+}
+
+func newAdmission(slots, room int, rec *obs.Recorder) *admission {
+	if slots < 1 {
+		slots = 1
+	}
+	if room < 0 {
+		room = 0
+	}
+	return &admission{
+		slots: make(chan struct{}, slots),
+		room:  make(chan struct{}, room),
+		rec:   rec,
+	}
+}
+
+// acquire claims an execution slot, waiting in the bounded room if all
+// slots are busy. On success it returns a release func that must be
+// called exactly once. Failure modes:
+//
+//   - waiting room full        → ErrQueueFull (handler: 429)
+//   - ctx done while waiting   → fherr.ErrCanceled (handler: 504/499)
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	a.rec.Add("fhed.admission.requests", 1)
+
+	// Fast path: an idle slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		return a.admitted(), nil
+	default:
+	}
+
+	// Slow path: take a waiting-room permit or reject.
+	select {
+	case a.room <- struct{}{}:
+	default:
+		a.rec.Add("fhed.admission.rejected", 1)
+		return nil, ErrQueueFull
+	}
+	a.rec.SetGauge("fhed.queue.depth", float64(a.waiting.Add(1)))
+	sp := a.rec.StartOp("fhed.admission.wait")
+	defer func() {
+		sp.End()
+		<-a.room
+		a.rec.SetGauge("fhed.queue.depth", float64(a.waiting.Add(-1)))
+	}()
+
+	select {
+	case a.slots <- struct{}{}:
+		return a.admitted(), nil
+	case <-ctx.Done():
+		a.rec.Add("fhed.admission.expired", 1)
+		return nil, fherr.Errorf(fherr.ErrCanceled, "server: deadline expired in admission queue (%v)", ctx.Err())
+	}
+}
+
+// admitted finalizes a successful slot claim and builds its release.
+func (a *admission) admitted() func() {
+	a.rec.Add("fhed.admission.admitted", 1)
+	a.rec.SetGauge("fhed.inflight", float64(a.inflight.Add(1)))
+	var released atomic.Bool
+	return func() {
+		if !released.CompareAndSwap(false, true) {
+			return
+		}
+		<-a.slots
+		a.rec.SetGauge("fhed.inflight", float64(a.inflight.Add(-1)))
+		a.rec.Add("fhed.admission.completed", 1)
+	}
+}
+
+// retryAfterSec estimates how long a rejected client should back off:
+// roughly the time for the current backlog to clear one slot's worth of
+// work, clamped to [1s, 5s]. It is a hint, not a promise — the load
+// generator treats it as the floor of its jittered backoff.
+func (a *admission) retryAfterSec() int {
+	backlog := int(a.waiting.Load())
+	slots := cap(a.slots)
+	est := 1 + backlog/(slots+1)
+	if est > 5 {
+		est = 5
+	}
+	return est
+}
+
+// depth and inFlight expose the live gauges for healthz/stats.
+func (a *admission) depth() int    { return int(a.waiting.Load()) }
+func (a *admission) inFlight() int { return int(a.inflight.Load()) }

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLoadGeneratorSmoke runs the real load generator against an
+// in-process server: the ramp's top rung deliberately exceeds
+// slots+queue, so the run must show backpressure (rejections, honored
+// retries) without a single timeout or transport error, and the chaos
+// cycles must all detect and recover.
+func TestLoadGeneratorSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run takes a few seconds; skipping in -short mode")
+	}
+	srv, base := startServer(t, Config{Slots: 1, Queue: 2, Chaos: true})
+
+	// Repeat is the op weight: it must make one request expensive enough
+	// (~100ms of evaluator time) that eight workers sharing this CPU can
+	// out-offer a single slot — with a cheap op the slot frees faster
+	// than the clients can fill the queue and saturation never happens.
+	rep, err := RunLoad(LoadConfig{
+		BaseURL: base,
+		Window:  600 * time.Millisecond,
+		Ramp:    []int{1, 8},
+		Repeat:  16,
+		Chaos:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(rep.Windows) != 2 {
+		t.Fatalf("windows = %d, want 2", len(rep.Windows))
+	}
+	for _, w := range rep.Windows {
+		if w.Errors != 0 {
+			t.Errorf("conc=%d: %d non-backpressure errors", w.Concurrency, w.Errors)
+		}
+		if w.Timeouts != 0 {
+			t.Errorf("conc=%d: %d timeouts — saturation must shed load as 429s, not hangs", w.Concurrency, w.Timeouts)
+		}
+	}
+	if rep.Saturation.Rejected == 0 {
+		t.Error("saturation window shows zero rejections — ramp did not exceed capacity")
+	}
+	if rep.MaxSustainedRPS <= 0 {
+		t.Error("max sustained RPS not measured")
+	}
+	var rotate *OpStats
+	for i := range rep.Ops {
+		if rep.Ops[i].Name == "rotate" {
+			rotate = &rep.Ops[i]
+		}
+	}
+	if rotate == nil || rotate.Count == 0 {
+		t.Fatal("no rotate latencies recorded")
+	}
+	if !(rotate.P50Us <= rotate.P95Us && rotate.P95Us <= rotate.P99Us && rotate.P99Us <= rotate.MaxUs) {
+		t.Errorf("percentiles not monotonic: %+v", rotate)
+	}
+	if rep.Chaos == nil || rep.Chaos.Cycles == 0 {
+		t.Fatal("chaos cycles did not run")
+	}
+	if rep.Chaos.Detected != rep.Chaos.Cycles || rep.Chaos.Recovered != rep.Chaos.Cycles {
+		t.Errorf("chaos: %+v — every injected corruption must be detected and recovered", rep.Chaos)
+	}
+
+	// The server survived the whole run: no panics escaped isolation.
+	if got := srv.Recorder().Counter("fhed.panics"); got != 0 {
+		t.Errorf("fhed.panics = %d during load", got)
+	}
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config carries the operator-facing knobs of one fhed instance.
+type Config struct {
+	// Addr is the listen address ("127.0.0.1:0" for an ephemeral port).
+	Addr string
+	// Slots is the number of concurrently executing FHE requests
+	// (default 2 — FHE ops are CPU-bound; this is the core governor).
+	Slots int
+	// Queue is the waiting-room capacity behind the slots (default 8).
+	// Arrivals beyond Slots+Queue get 429 + Retry-After.
+	Queue int
+	// DefaultDeadline bounds a request that carries no explicit deadline
+	// (default 30s). MaxDeadline caps the per-request override header
+	// (default 2m).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// DrainBudget is how long Shutdown waits for in-flight work before
+	// cancelling it (default 10s).
+	DrainBudget time.Duration
+	// MaxTenants bounds the tenant registry (default 16); each tenant
+	// holds key material, so this is a memory bound.
+	MaxTenants int
+	// Chaos enables the fault-injection endpoint. Off by default; a
+	// production server exposes no corruption interface.
+	Chaos bool
+	// FlightPath, when non-empty, receives a flight dump (counters,
+	// histograms, recent spans) when the server drains.
+	FlightPath string
+	// Log receives operational log lines (default: io.Discard under
+	// test, os.Stderr from cmd/fhed).
+	Log *log.Logger
+}
+
+func (c *Config) fillDefaults() {
+	if c.Slots == 0 {
+		c.Slots = 2
+	}
+	if c.Queue == 0 {
+		c.Queue = 8
+	}
+	if c.DefaultDeadline == 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline == 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	if c.DrainBudget == 0 {
+		c.DrainBudget = 10 * time.Second
+	}
+	if c.MaxTenants == 0 {
+		c.MaxTenants = 16
+	}
+	if c.Log == nil {
+		c.Log = log.New(io.Discard, "", 0)
+	}
+}
+
+// Server is one fhed instance: an HTTP listener, the admission queue,
+// and the tenant registry. Create with New, run with Serve, stop with
+// Shutdown (or let WatchSignals call it on SIGTERM/SIGINT).
+type Server struct {
+	cfg  Config
+	rec  *obs.Recorder
+	adm  *admission
+	reg  *registry
+	http *http.Server
+	ln   net.Listener
+
+	// base is the server-lifetime context: Shutdown cancels it once the
+	// drain budget expires, which aborts every still-running evaluator
+	// op with a typed fherr.ErrCanceled.
+	base       context.Context
+	baseCancel context.CancelFunc
+
+	draining atomic.Bool
+	done     chan struct{} // closed when Shutdown finishes
+	started  time.Time
+}
+
+// New builds a server and binds its listener (so Addr is final before
+// Serve is called — tests use :0 and read the port back).
+func New(cfg Config, rec *obs.Recorder) (*Server, error) {
+	cfg.fillDefaults()
+	if rec == nil {
+		rec = obs.NewRecorder()
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	base, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		rec:        rec,
+		adm:        newAdmission(cfg.Slots, cfg.Queue, rec),
+		reg:        newRegistry(cfg.MaxTenants, cfg.Chaos, rec),
+		ln:         ln,
+		base:       base,
+		baseCancel: cancel,
+		done:       make(chan struct{}),
+		started:    time.Now(),
+	}
+	s.http = &http.Server{
+		Handler: s.routes(),
+		// Header/idle timeouts guard the accept loop; request bodies are
+		// small JSON, the real per-request bound is the op deadline.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	rec.SetGauge("fhed.slots", float64(cfg.Slots))
+	rec.SetGauge("fhed.queue.cap", float64(cfg.Queue))
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Recorder returns the server's observability recorder.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Serve runs the accept loop until Shutdown. It returns nil on a clean
+// drain (http.ErrServerClosed is the expected exit).
+func (s *Server) Serve() error {
+	s.cfg.Log.Printf("fhed: serving on %s (slots=%d queue=%d chaos=%v)",
+		s.Addr(), s.cfg.Slots, s.cfg.Queue, s.cfg.Chaos)
+	err := s.http.Serve(s.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		// Wait for Shutdown to finish its drain before returning, so
+		// callers of Serve observe the fully-drained state.
+		<-s.done
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server: stop accepting (the listener closes, so
+// new connections are refused at the TCP level), let in-flight requests
+// finish within the drain budget, then cancel the base context so
+// whatever remains aborts with typed errors, and finally flush the
+// flight dump. Idempotent; concurrent calls after the first are no-ops
+// that wait for the drain to finish.
+func (s *Server) Shutdown() error {
+	if !s.draining.CompareAndSwap(false, true) {
+		<-s.done
+		return nil
+	}
+	defer close(s.done)
+	s.rec.Add("fhed.drains", 1)
+	sp := s.rec.StartOp("fhed.drain")
+	defer sp.End()
+	s.cfg.Log.Printf("fhed: draining (budget %v, %d in flight, %d queued)",
+		s.cfg.DrainBudget, s.adm.inFlight(), s.adm.depth())
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainBudget)
+	defer cancel()
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// Budget expired with work still running: cancel every bound op
+		// context. The ops abort at their next interrupt check with
+		// typed fherr.ErrCanceled, the handlers answer 504, and the
+		// connections close on their own — give that a short grace
+		// before force-closing.
+		s.rec.Add("fhed.drain.forced", 1)
+		s.cfg.Log.Printf("fhed: drain budget expired, cancelling in-flight ops")
+		s.baseCancel()
+		g, gcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer gcancel()
+		if err = s.http.Shutdown(g); err != nil {
+			err = s.http.Close()
+		}
+	}
+	s.baseCancel()
+	if s.cfg.FlightPath != "" {
+		if derr := s.rec.DumpFlight(s.cfg.FlightPath, "drain"); derr != nil {
+			s.cfg.Log.Printf("fhed: flight dump failed: %v", derr)
+		} else {
+			s.cfg.Log.Printf("fhed: flight dump written to %s", s.cfg.FlightPath)
+		}
+	}
+	s.cfg.Log.Printf("fhed: drained")
+	return err
+}
+
+// WatchSignals installs a SIGTERM/SIGINT handler that triggers Shutdown.
+// The returned stop func uninstalls it.
+func (s *Server) WatchSignals() (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		if _, ok := <-ch; ok {
+			s.cfg.Log.Printf("fhed: signal received")
+			_ = s.Shutdown()
+		}
+	}()
+	return func() { signal.Stop(ch); close(ch) }
+}
+
+// Draining reports whether Shutdown has started.
+func (s *Server) Draining() bool { return s.draining.Load() }
